@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation: the sparse-weight decompression engine (paper VII: Ncore
+ * "includes a hardware decompression engine for sparse weights, but
+ * does not exploit data sparsity"). Sweeps weight sparsity and shows
+ * when compressed streaming beats dense for the DMA-bound layers of a
+ * weight-streamed model (ResNet-class: 26 MB re-fetched per
+ * inference).
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "common/machine.h"
+#include "common/rng.h"
+#include "ncore/machine.h"
+#include "soc/compress.h"
+
+namespace ncore {
+namespace {
+
+uint64_t
+timeTransfer(Machine &m, const std::vector<uint8_t> &payload, int rows,
+             bool compressed, const std::vector<uint8_t> &stream,
+             uint8_t zb)
+{
+    uint64_t addr = m.sysmem().allocate(size_t(rows) * 4096);
+    if (compressed)
+        m.sysmem().write(addr, stream.data(), stream.size());
+    else
+        m.sysmem().write(addr, payload.data(), payload.size());
+    DmaDescriptor d;
+    d.toNcore = true;
+    d.weightRam = true;
+    d.ramRow = 0;
+    d.rowCount = uint32_t(rows);
+    d.sysAddr = addr;
+    d.queue = 0;
+    d.compressed = compressed;
+    d.compressedBytes = uint32_t(stream.size());
+    d.zeroByte = zb;
+    m.dma().setDescriptor(0, d);
+    m.dma().kick(0);
+    uint64_t cycles = 0;
+    while (m.dma().queueBusy(0)) {
+        m.dma().advance(64);
+        cycles += 64;
+    }
+    return cycles;
+}
+
+} // namespace
+} // namespace ncore
+
+using ncore::Rng;
+
+int
+main()
+{
+    using namespace ncore;
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    const int rows = 577; // One ResNet conv5 3x3x512x512 layer image.
+    const uint8_t zb = 128;
+
+    printTitle("Ablation -- sparse-weight DMA decompression "
+               "(paper VII: present in Ncore, unused by the paper)");
+    std::printf("%-10s %14s %14s %14s %10s\n", "sparsity",
+                "stream bytes", "dense (cyc)", "compr (cyc)",
+                "speedup");
+
+    ncore::Rng rng(3);
+    for (double sparsity : {0.0, 0.3, 0.5, 0.7, 0.9}) {
+        std::vector<uint8_t> w(size_t(rows) * 4096, zb);
+        for (auto &b : w)
+            if (rng.nextFloat() > sparsity) {
+                uint8_t v = uint8_t(rng.next64());
+                b = v == zb ? uint8_t(v + 1) : v;
+            }
+        auto stream = compressRows(w.data(), rows, zb);
+        uint64_t dense = timeTransfer(m, w, rows, false, stream, zb);
+        uint64_t compr = timeTransfer(m, w, rows, true, stream, zb);
+        std::printf("%9.0f%% %14zu %14llu %14llu %9.2fx\n",
+                    sparsity * 100.0, stream.size(),
+                    (unsigned long long)dense,
+                    (unsigned long long)compr,
+                    double(dense) / double(compr));
+    }
+
+    std::printf("\nBreak-even is ~12.5%% sparsity (the fixed 8-byte "
+                "block masks); at the 50-90%% sparsity of pruned "
+                "models the DMA-bound layers of weight-streamed "
+                "networks transfer 2-5x faster. The paper ships the "
+                "engine but leaves weight pruning to future software "
+                "(its models were dense).\n");
+    return 0;
+}

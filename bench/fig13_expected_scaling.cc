@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates paper Fig. 13: expected maximum MLPerf throughput as a
+ * function of x86 core count, assuming batching hides the x86 work
+ * behind Ncore's latency. Derived from the measured Table IX
+ * components through the pipeline model (one core drives Ncore; the
+ * rest process pre/post/framework work concurrently).
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "mlperf/profiles.h"
+
+int
+main()
+{
+    using namespace ncore;
+    std::vector<WorkloadProfile> profiles = measureAllWorkloads();
+
+    printTitle("Fig. 13 -- Expected max throughput (IPS) vs x86 core "
+               "count");
+    std::printf("%-6s %14s %14s %16s\n", "Cores", "MobileNetV1",
+                "ResNet50", "SSD-MobileNet");
+    for (int cores = 1; cores <= 8; ++cores) {
+        std::printf("%-6d %14.0f %14.0f %16.0f\n", cores,
+                    expectedIps(profiles[0], cores),
+                    expectedIps(profiles[1], cores),
+                    expectedIps(profiles[2], cores));
+    }
+
+    std::printf("\nCores to reach the expected maximum "
+                "(paper: ResNet 2, MobileNet 4, SSD 5):\n");
+    const int paper_cores[3] = {4, 2, 5};
+    bool ok = true;
+    for (int i = 0; i < 3; ++i) {
+        int c = coresToSaturate(profiles[size_t(i)]);
+        std::printf("  %-18s %d (paper: %d)\n",
+                    workloadName(Workload(i)), c, paper_cores[i]);
+        ok &= c >= paper_cores[i] - 1 && c <= paper_cores[i] + 1;
+    }
+    std::printf("\nShape check -- saturation core counts within +/-1 "
+                "of the paper: %s\n",
+                ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

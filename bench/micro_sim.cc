@@ -1,0 +1,143 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself: host-side
+ * throughput of instruction encode/decode, the ECC code, NDU dataflow
+ * ops and the MAC pipeline — the practical limits on how fast this
+ * golden model can drive verification (paper V-E used exactly such an
+ * instruction simulator to drive DV).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/ecc.h"
+#include "common/machine.h"
+#include "common/rng.h"
+#include "ncore/machine.h"
+
+namespace ncore {
+namespace {
+
+void
+BM_EncodeDecode(benchmark::State &state)
+{
+    Instruction in;
+    in.ctrl.op = CtrlOp::Rep;
+    in.ctrl.imm = 64;
+    in.dataRead.enable = true;
+    in.weightRead.enable = true;
+    in.ndu0.op = NduOp::GroupBcast;
+    in.ndu0.srcA = RowSrc::DataRead;
+    in.ndu1.op = NduOp::RepWindow;
+    in.ndu1.srcA = RowSrc::WeightRead;
+    in.npu.op = NpuOp::Mac;
+    for (auto _ : state) {
+        EncodedInstruction enc = encodeInstruction(in);
+        benchmark::DoNotOptimize(decodeInstruction(enc));
+    }
+}
+BENCHMARK(BM_EncodeDecode);
+
+void
+BM_EccEncodeDecode(benchmark::State &state)
+{
+    Rng rng(1);
+    uint64_t w = rng.next64();
+    for (auto _ : state) {
+        uint8_t c = eccEncode(w);
+        benchmark::DoNotOptimize(eccDecode(w, c));
+        w = w * 6364136223846793005ull + 1;
+    }
+}
+BENCHMARK(BM_EccEncodeDecode);
+
+/** Simulated MAC cycles per wall second (the DV-throughput metric). */
+void
+BM_MacPipeline(benchmark::State &state)
+{
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    std::vector<Instruction> prog;
+    Instruction zero;
+    zero.npu.op = NpuOp::AccZero;
+    prog.push_back(zero);
+    Instruction mac;
+    mac.ctrl.op = CtrlOp::Rep;
+    mac.ctrl.imm = 1024;
+    mac.dataRead.enable = true;
+    mac.weightRead.enable = true;
+    mac.ndu0.op = NduOp::GroupBcast;
+    mac.ndu0.srcA = RowSrc::DataRead;
+    mac.ndu0.dst = 0;
+    mac.ndu0.param = uint8_t(NduStride::S64);
+    mac.ndu1.op = NduOp::RepWindow;
+    mac.ndu1.srcA = RowSrc::WeightRead;
+    mac.ndu1.dst = 1;
+    mac.ndu1.param = uint8_t(NduStride::S1);
+    mac.npu.op = NpuOp::Mac;
+    mac.npu.type = LaneType::U8;
+    mac.npu.a = RowSrc::N0;
+    mac.npu.b = RowSrc::N1;
+    mac.npu.zeroOff = true;
+    prog.push_back(mac);
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    std::vector<EncodedInstruction> enc;
+    for (const Instruction &in : prog)
+        enc.push_back(encodeInstruction(in));
+
+    for (auto _ : state) {
+        m.writeIram(0, enc);
+        m.start(0);
+        m.run();
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        1026.0 * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["lane_MACs/s"] = benchmark::Counter(
+        1024.0 * 4096.0 * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MacPipeline)->Unit(benchmark::kMillisecond);
+
+/** NDU rotate throughput (full 4 KB row per op). */
+void
+BM_NduRotate(benchmark::State &state)
+{
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    std::vector<Instruction> prog;
+    Instruction setb;
+    setb.ctrl.op = CtrlOp::SetAddrByte;
+    setb.ctrl.reg = 1;
+    setb.ctrl.imm = 64;
+    prog.push_back(setb);
+    Instruction rot;
+    rot.ctrl.op = CtrlOp::Rep;
+    rot.ctrl.imm = 1024;
+    rot.dataRead.enable = true;
+    rot.ndu0.op = NduOp::Rotate;
+    rot.ndu0.srcA = RowSrc::DataRead;
+    rot.ndu0.dst = 0;
+    rot.ndu0.addrReg = 1;
+    prog.push_back(rot);
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    std::vector<EncodedInstruction> enc;
+    for (const Instruction &in : prog)
+        enc.push_back(encodeInstruction(in));
+
+    for (auto _ : state) {
+        m.writeIram(0, enc);
+        m.start(0);
+        m.run();
+    }
+    state.counters["rotates/s"] = benchmark::Counter(
+        1024.0 * double(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NduRotate)->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace ncore
+
+BENCHMARK_MAIN();

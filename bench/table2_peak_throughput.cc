@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates paper Table II: peak throughput (GOPS) of one CNS x86
+ * core vs Ncore at 2.5 GHz across datatypes. The analytic peaks come
+ * from the machine parameters; the Ncore int8 and bf16 numbers are
+ * additionally *measured* by running a dense MAC loop on the cycle
+ * simulator and counting lane-MACs per cycle.
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "common/machine.h"
+#include "ncore/machine.h"
+#include "x86/cost_model.h"
+
+namespace ncore {
+namespace {
+
+/** Measure sustained MAC GOPS with a back-to-back Rep MAC loop. */
+double
+measureMacGops(LaneType type)
+{
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    const uint32_t reps = 4096;
+
+    std::vector<Instruction> prog;
+    Instruction zero;
+    zero.npu.op = NpuOp::AccZero;
+    prog.push_back(zero);
+    Instruction mac;
+    mac.ctrl.op = CtrlOp::Rep;
+    mac.ctrl.imm = reps;
+    mac.dataRead.enable = true;
+    mac.weightRead.enable = true;
+    mac.npu.op = NpuOp::Mac;
+    mac.npu.type = type;
+    mac.npu.a = RowSrc::DataRead;
+    mac.npu.b = RowSrc::WeightRead;
+    prog.push_back(mac);
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+
+    std::vector<EncodedInstruction> enc;
+    for (const Instruction &in : prog)
+        enc.push_back(encodeInstruction(in));
+    m.writeIram(0, enc);
+    m.clearPerf();
+    m.start(0);
+    m.run();
+
+    double ops = 2.0 * double(m.perf().macOps);
+    double seconds = double(m.perf().cycles) / m.config().clockHz;
+    return ops / seconds / 1e9;
+}
+
+} // namespace
+} // namespace ncore
+
+int
+main()
+{
+    using namespace ncore;
+
+    printTitle("Table II -- Peak Throughput (GOPS/sec), paper vs this "
+               "reproduction");
+    std::printf("%-22s %10s %10s %10s\n", "Processor", "8b", "bfloat16",
+                "FP32");
+    std::printf("%-22s %10.0f %10.0f %10.0f   (analytic, Table II: "
+                "106 / 80 / 80)\n",
+                "1x CNS x86 2.5GHz", cnsPeakGops(DType::Int8),
+                cnsPeakGops(DType::BFloat16),
+                cnsPeakGops(DType::Float32));
+    std::printf("%-22s %10.0f %10.0f %10s   (analytic, Table II: "
+                "20,480 / 6,826 / N/A)\n",
+                "Ncore 2.5GHz", ncorePeakGops(DType::Int8),
+                ncorePeakGops(DType::BFloat16), "N/A");
+
+    double meas8 = measureMacGops(LaneType::U8);
+    double measbf = measureMacGops(LaneType::BF16);
+    double meas16 = measureMacGops(LaneType::I16);
+    std::printf("%-22s %10.0f %10.0f %10s   (measured on the cycle "
+                "simulator; int16 = %.0f)\n",
+                "Ncore (measured)", meas8, measbf, "N/A", meas16);
+
+    std::printf("\nShape check: Ncore int8 peak is %.0fx one CNS "
+                "core's (paper: ~193x).\n",
+                ncorePeakGops(DType::Int8) / cnsPeakGops(DType::Int8));
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Regenerates paper Table V: evaluated benchmark characteristics —
+ * total MACs, total weights and MACs/weight for the four networks,
+ * computed by walking our reconstructed model graphs (GNMT
+ * characterized at 25-in/25-out words, as the paper does).
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "models/gnmt.h"
+#include "models/zoo.h"
+
+namespace ncore {
+namespace {
+
+void
+row(const ModelCharacteristics &paper, double gmacs, double mweights)
+{
+    double mpw = gmacs * 1000.0 / mweights;
+    std::printf("%-18s %-6s %7.2fB %8.1fM %7.0f   | %5.2fB %6.1fM "
+                "%5d\n",
+                paper.model, paper.type, gmacs, mweights, mpw,
+                paper.paperGMacs, paper.paperMWeights,
+                paper.paperMacsPerWeight);
+}
+
+} // namespace
+} // namespace ncore
+
+int
+main()
+{
+    using namespace ncore;
+
+    printTitle("Table V -- Evaluated benchmark characteristics "
+               "(measured on reconstructed graphs | paper)");
+    std::printf("%-18s %-6s %8s %9s %8s   | %6s %7s %5s\n", "Model",
+                "Input", "MACs", "Weights", "MACs/wt", "MACs",
+                "Weights", "M/w");
+
+    Graph mb = buildMobileNetV1();
+    row(mobilenetRow(), double(mb.totalMacs()) / 1e9,
+        double(mb.totalWeights()) / 1e6);
+
+    Graph rn = buildResNet50V15();
+    row(resnetRow(), double(rn.totalMacs()) / 1e9,
+        double(rn.totalWeights()) / 1e6);
+
+    Graph ssd = buildSsdMobileNetV1();
+    row(ssdRow(), double(ssd.totalMacs()) / 1e9,
+        double(ssd.totalWeights()) / 1e6);
+
+    Gnmt gnmt;
+    row(gnmtRow(), double(gnmt.macCount(25, 25)) / 1e9,
+        double(gnmt.weightCount()) / 1e6);
+
+    std::printf("\nGNMT MACs vary with sentence length; characterized "
+                "at 25-in/25-out words (beam %d), as in the paper.\n",
+                GnmtConfig{}.beam);
+    return 0;
+}

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Regenerates paper Table VI: the types of MLPerf Inference v0.5
+ * submitters (published context for the comparison set).
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+
+int
+main()
+{
+    using namespace ncore;
+    printTitle("Table VI -- Types of MLPerf submitters (published)");
+    std::printf("%-22s %s\n", "Type", "Submitter");
+    std::printf("%-22s %s\n", "Chip vendors",
+                "Centaur, Intel, NVIDIA, Qualcomm");
+    std::printf("%-22s %s\n", "Cloud services", "Alibaba, Google");
+    std::printf("%-22s %s\n", "Systems (Intel-based)",
+                "DellEMC, Inspur, Tencent");
+    std::printf("%-22s %s\n", "Chip startups",
+                "FuriosaAI, Habana Labs, Hailo");
+    std::printf("\nThis reproduction compares against the chip-vendor "
+                "rows, as the paper does.\n");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Regenerates paper Table VII and Fig. 11: SingleStream latency of the
+ * integrated chip-vendor MLPerf v0.5 submissions. Ncore's rows come
+ * from the cycle-accurate simulation (through the MLPerf-style
+ * SingleStream scenario, p90 over jittered queries); the other
+ * systems' rows are their published submissions, exactly as the paper
+ * quotes them.
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "bench/vendor_data.h"
+#include "mlperf/loadgen.h"
+#include "mlperf/profiles.h"
+
+int
+main()
+{
+    using namespace ncore;
+
+    std::vector<WorkloadProfile> profiles = measureAllWorkloads();
+
+    // SingleStream latency per workload (GNMT was not submitted in
+    // SingleStream: memory-bound, Offline only — paper VI-A).
+    double ours[4] = {-1, -1, -1, -1};
+    for (int i = 0; i < 3; ++i) {
+        const WorkloadProfile &p = profiles[size_t(i)];
+        SingleStreamResult ss = runSingleStream(
+            [&](int) { return singleStreamSeconds(p); }, 256);
+        ours[i] = ss.p90 * 1e3;
+    }
+
+    printTitle("Table VII -- SingleStream latency (ms): measured Ncore "
+               "vs published submissions");
+    std::printf("%-26s %12s %12s %14s %8s\n", "System", "MobileNetV1",
+                "ResNet50", "SSD-MobileNet", "GNMT");
+    std::printf("%-26s %12s %12s %14s %8s\n", "Centaur Ncore (ours)",
+                cell(ours[0]).c_str(), cell(ours[1]).c_str(),
+                cell(ours[2]).c_str(), "-");
+    VendorRow paper = paperNcoreLatency();
+    std::printf("%-26s %12s %12s %14s %8s\n", paper.system,
+                cell(paper.values[0]).c_str(),
+                cell(paper.values[1]).c_str(),
+                cell(paper.values[2]).c_str(), "-");
+    int n = 0;
+    const VendorRow *rows = publishedLatencies(&n);
+    for (int i = 0; i < n; ++i)
+        std::printf("%-26s %12s %12s %14s %8s\n", rows[i].system,
+                    cell(rows[i].values[0]).c_str(),
+                    cell(rows[i].values[1]).c_str(),
+                    cell(rows[i].values[2]).c_str(),
+                    cell(rows[i].values[3]).c_str());
+
+    // Fig. 11: log-scale latency chart per model.
+    const char *models[3] = {"MobileNet-V1", "ResNet-50-V1.5",
+                             "SSD-MobileNet-V1"};
+    printTitle("Fig. 11 -- Latency (ms, log scale)");
+    for (int m = 0; m < 3; ++m) {
+        std::printf("\n%s:\n", models[m]);
+        printLogBar("Ncore (ours)", ours[m], 0.1, 20.0, "ms");
+        printLogBar("Ncore (paper)", paper.values[m], 0.1, 20.0, "ms");
+        for (int i = 0; i < n; ++i)
+            printLogBar(rows[i].system, rows[i].values[m], 0.1, 20.0,
+                        "ms");
+    }
+
+    // Shape criteria from the paper's evaluation.
+    bool best_mobilenet = true, best_resnet = true;
+    for (int i = 0; i < n; ++i) {
+        if (rows[i].values[0] > 0 && rows[i].values[0] < ours[0])
+            best_mobilenet = false;
+        if (rows[i].values[1] > 0 && rows[i].values[1] < ours[1])
+            best_resnet = false;
+    }
+    std::printf("\nShape check -- lowest MobileNet-V1 latency of all "
+                "integrated submissions: %s (paper: yes)\n",
+                best_mobilenet ? "yes" : "NO");
+    std::printf("Shape check -- lowest ResNet-50 latency: %s (paper: "
+                "yes; known deviation — our fixed 64-byte broadcast "
+                "groups under-pack 28-wide stages, see "
+                "EXPERIMENTS.md)\n",
+                best_resnet ? "yes" : "no");
+    return best_mobilenet ? 0 : 1;
+}

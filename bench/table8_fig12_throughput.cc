@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates paper Table VIII and Fig. 12: Offline throughput of the
+ * integrated chip-vendor submissions. Ncore's numbers come from the
+ * measured workload components composed through the multicore
+ * batching pipeline (8 cores, paper VI-C): MobileNet and ResNet were
+ * run multi-batched; SSD ran single-batch (its NMS lacked batching at
+ * submission time); GNMT ran Offline through the TF stack.
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "bench/vendor_data.h"
+#include "mlperf/loadgen.h"
+#include "mlperf/profiles.h"
+
+int
+main()
+{
+    using namespace ncore;
+
+    std::vector<WorkloadProfile> profiles = measureAllWorkloads();
+    double ours[4];
+    for (int i = 0; i < 4; ++i)
+        ours[i] =
+            runOffline(observedIps(profiles[size_t(i)], 8), 1024).ips;
+
+    printTitle("Table VIII -- Offline throughput (inputs/sec): "
+               "measured Ncore vs published submissions");
+    std::printf("%-26s %12s %12s %14s %8s\n", "System", "MobileNetV1",
+                "ResNet50", "SSD-MobileNet", "GNMT");
+    std::printf("%-26s %12s %12s %14s %8s\n", "Centaur Ncore (ours)",
+                cell(ours[0]).c_str(), cell(ours[1]).c_str(),
+                cell(ours[2]).c_str(), cell(ours[3]).c_str());
+    VendorRow paper = paperNcoreThroughput();
+    std::printf("%-26s %12s %12s %14s %8s\n", paper.system,
+                cell(paper.values[0]).c_str(),
+                cell(paper.values[1]).c_str(),
+                cell(paper.values[2]).c_str(),
+                cell(paper.values[3]).c_str());
+    int n = 0;
+    const VendorRow *rows = publishedThroughputs(&n);
+    for (int i = 0; i < n; ++i)
+        std::printf("%-26s %12s %12s %14s %8s\n", rows[i].system,
+                    cell(rows[i].values[0]).c_str(),
+                    cell(rows[i].values[1]).c_str(),
+                    cell(rows[i].values[2]).c_str(),
+                    cell(rows[i].values[3]).c_str());
+
+    const char *models[4] = {"MobileNet-V1", "ResNet-50-V1.5",
+                             "SSD-MobileNet-V1", "GNMT"};
+    printTitle("Fig. 12 -- Throughput (inputs/sec, log scale)");
+    for (int m = 0; m < 4; ++m) {
+        std::printf("\n%s:\n", models[m]);
+        printLogBar("Ncore (ours)", ours[m], 10.0, 40000.0, "IPS");
+        printLogBar("Ncore (paper)", paper.values[m], 10.0, 40000.0,
+                    "IPS");
+        for (int i = 0; i < n; ++i)
+            printLogBar(rows[i].system, rows[i].values[m], 10.0,
+                        40000.0, "IPS");
+    }
+
+    // Per-unit comparisons the paper highlights (VI-B).
+    double per_ice = 10567.20 / 24.0; // 2x NNP-I = 24 ICEs.
+    double per_xeon = 5965.62 / 112.0;
+    std::printf("\nShape check -- ResNet-50 per 4096-byte engine: "
+                "Ncore %.0f vs NNP-I ICE %.0f IPS -> %.2fx "
+                "(paper: 2.77x)\n",
+                ours[1], per_ice, ours[1] / per_ice);
+    std::printf("Shape check -- Ncore ResNet-50 equals %.1f "
+                "VNNI Xeon cores (paper: ~23)\n",
+                ours[1] / per_xeon);
+    std::printf("Shape check -- MobileNet within ~10%% of AGX Xavier: "
+                "ratio %.2f (paper: 0.93)\n",
+                ours[0] / 6520.75);
+    return 0;
+}

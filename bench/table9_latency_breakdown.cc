@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates paper Table IX: the Ncore vs x86 portions of each CNN's
+ * single-batch latency. Following the paper's methodology, the Ncore
+ * portion is measured with Ncore's built-in event logging (the
+ * subgraph start/end markers the GCL emits) and the x86 portion is
+ * the remainder of the SingleStream latency.
+ */
+
+#include <cstdio>
+
+#include "bench/table_util.h"
+#include "bench/vendor_data.h"
+#include "mlperf/profiles.h"
+
+int
+main()
+{
+    using namespace ncore;
+
+    std::vector<WorkloadProfile> profiles = measureAllWorkloads();
+
+    printTitle("Table IX -- Proportions of x86 and Ncore work in "
+               "single-batch latency (measured | paper)");
+    std::printf("%-18s %9s %16s %16s  | %7s %14s %14s\n", "Model",
+                "Total", "Ncore portion", "x86 portion", "Total",
+                "Ncore", "x86");
+
+    int pn = 0;
+    const BreakdownRow *paper = paperBreakdown(&pn);
+    bool order_ok = true;
+    double prev_x86_share = 0;
+    (void)prev_x86_share;
+
+    double shares[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+        const WorkloadProfile &p = profiles[size_t(i)];
+        double total = singleStreamSeconds(p) * 1e3;
+        double nc = p.ncoreSeconds * 1e3;
+        double x = p.x86Seconds * 1e3;
+        shares[i] = x / total;
+        std::printf("%-18s %7.2fms %9.2fms (%2.0f%%) %9.2fms (%2.0f%%)"
+                    "  | %5.2fms %7.2fms (%2.0f%%) %5.2fms (%2.0f%%)\n",
+                    workloadName(Workload(i)), total, nc,
+                    100.0 * nc / total, x, 100.0 * x / total,
+                    paper[i].totalMs, paper[i].ncoreMs,
+                    100.0 * paper[i].ncoreMs / paper[i].totalMs,
+                    paper[i].x86Ms,
+                    100.0 * paper[i].x86Ms / paper[i].totalMs);
+    }
+
+    // Shape: ResNet is Ncore-dominated; MobileNet and SSD are
+    // x86-dominated, SSD most of all (NMS).
+    order_ok &= shares[1] < 0.5;            // ResNet mostly Ncore.
+    order_ok &= shares[0] > 0.5;            // MobileNet mostly x86.
+    order_ok &= shares[2] > shares[0];      // SSD worst (NMS tail).
+    std::printf("\nShape check -- ResNet Ncore-dominated, MobileNet "
+                "x86-dominated, SSD the most x86-bound: %s\n",
+                order_ok ? "yes" : "NO");
+
+    std::printf("\nBatching speedups implied (paper VI-C: ~2x "
+                "MobileNet, ~1.3x ResNet, ~1x SSD):\n");
+    for (int i = 0; i < 3; ++i) {
+        const WorkloadProfile &p = profiles[size_t(i)];
+        double single = 1.0 / singleStreamSeconds(p);
+        double batched = observedIps(p, 8);
+        std::printf("  %-18s %5.2fx\n", workloadName(Workload(i)),
+                    batched / single);
+    }
+    return order_ok ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Published MLPerf Inference v0.5 Closed-division results of the other
+ * integrated chip-vendor submissions, exactly as quoted in the paper's
+ * Tables VII and VIII (the paper itself compares against submitted
+ * scores, not re-measurements; re-simulating third-party silicon is
+ * out of scope — see DESIGN.md, Substitutions). A negative entry means
+ * "no submission" (rendered as '-').
+ *
+ * Source note from the paper: MLPerf v0.5 Inference Closed
+ * SingleStream and Offline, retrieved from www.mlperf.org 27 January
+ * 2020, entries 0.5-22..24, 0.5-28/29, 0.5-32/33.
+ */
+
+#ifndef NCORE_BENCH_VENDOR_DATA_H
+#define NCORE_BENCH_VENDOR_DATA_H
+
+namespace ncore {
+
+/** Column order: MobileNet-V1, ResNet-50-V1.5, SSD-MobileNet-V1, GNMT. */
+struct VendorRow
+{
+    const char *system;
+    double values[4];
+};
+
+/** Paper Table VII: SingleStream latency in milliseconds. */
+inline const VendorRow *
+publishedLatencies(int *count)
+{
+    static const VendorRow rows[] = {
+        {"NVIDIA AGX Xavier", {0.58, 2.04, 1.50, -1}},
+        {"Intel i3 1005G1", {3.55, 13.58, 6.67, -1}},
+        {"(2x) Intel CLX 9282", {0.49, 1.37, 1.40, -1}},
+        {"(2x) Intel NNP-I 1000", {-1, -1, -1, -1}},
+        {"Qualcomm SDM855 QRD", {3.02, 8.95, -1, -1}},
+    };
+    *count = 5;
+    return rows;
+}
+
+/** Paper Table VIII: Offline throughput in inputs per second. */
+inline const VendorRow *
+publishedThroughputs(int *count)
+{
+    static const VendorRow rows[] = {
+        {"NVIDIA AGX Xavier", {6520.75, 2158.93, 2485.77, -1}},
+        {"Intel i3 1005G1", {507.71, 100.93, 217.93, -1}},
+        {"(2x) Intel CLX 9282", {29203.30, 5965.62, 9468.00, -1}},
+        {"(2x) Intel NNP-I 1000", {-1, 10567.20, -1, -1}},
+        {"Qualcomm SDM855 QRD", {-1, -1, -1, -1}},
+    };
+    *count = 5;
+    return rows;
+}
+
+/** The paper's own Ncore submission rows (for paper-vs-measured). */
+inline VendorRow
+paperNcoreLatency()
+{
+    return {"Centaur Ncore (paper)", {0.33, 1.05, 1.54, -1}};
+}
+
+inline VendorRow
+paperNcoreThroughput()
+{
+    return {"Centaur Ncore (paper)", {6042.34, 1218.48, 651.89, 12.28}};
+}
+
+/** Paper Table IX: Ncore / x86 portions of single-batch latency (ms). */
+struct BreakdownRow
+{
+    const char *model;
+    double totalMs;
+    double ncoreMs;
+    double x86Ms;
+};
+
+inline const BreakdownRow *
+paperBreakdown(int *count)
+{
+    static const BreakdownRow rows[] = {
+        {"MobileNet-V1", 0.33, 0.11, 0.22},
+        {"ResNet-50-V1.5", 1.05, 0.71, 0.34},
+        {"SSD-MobileNet-V1", 1.54, 0.36, 1.18},
+    };
+    *count = 3;
+    return rows;
+}
+
+} // namespace ncore
+
+#endif // NCORE_BENCH_VENDOR_DATA_H

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ncore-objdump: inspect a serialized Ncore Loadable — the graph, the
+ * partitioning, per-subgraph resource plans, and a disassembly of the
+ * 128-bit VLIW programs (decoded with the same bit-exact decoder the
+ * sequencer uses).
+ *
+ * Usage:
+ *   ./build/examples/ncore_objdump <model.ncld> [--disasm N]
+ *
+ * With no file argument, compiles MobileNet-V1 in-process, saves it to
+ * mobilenet_v1.ncld, and dumps that (a self-contained demo).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gcl/compiler.h"
+#include "gcl/serialize.h"
+#include "models/zoo.h"
+
+using namespace ncore;
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    int disasm_count = 24;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--disasm") == 0 && i + 1 < argc)
+            disasm_count = std::atoi(argv[++i]);
+        else
+            path = argv[i];
+    }
+
+    if (path.empty()) {
+        std::printf("no Loadable given; compiling MobileNet-V1 and "
+                    "saving mobilenet_v1.ncld...\n\n");
+        Loadable ld = compile(buildMobileNetV1());
+        saveLoadable(ld, "mobilenet_v1.ncld");
+        path = "mobilenet_v1.ncld";
+    }
+
+    Loadable ld = loadLoadable(path);
+    const Graph &g = ld.graph;
+
+    std::printf("Loadable: %s\n", path.c_str());
+    std::printf("graph '%s': %zu nodes, %d tensors, %.2f GMACs, "
+                "%.2fM weights\n",
+                g.name().c_str(), g.nodes().size(), g.numTensors(),
+                double(g.totalMacs()) / 1e9,
+                double(g.totalWeights()) / 1e6);
+
+    int ncore_nodes = 0, x86_nodes = 0;
+    for (int a : ld.nodeAssignment)
+        (a >= 0 ? ncore_nodes : x86_nodes)++;
+    std::printf("partition: %d nodes on Ncore across %zu subgraph(s), "
+                "%d on x86\n\n",
+                ncore_nodes, ld.subgraphs.size(), x86_nodes);
+
+    for (size_t s = 0; s < ld.subgraphs.size(); ++s) {
+        const CompiledSubgraph &sg = ld.subgraphs[s];
+        std::printf("subgraph %zu:\n", s);
+        std::printf("  program        %zu instructions (%zu IRAM "
+                    "banks streamed)\n",
+                    sg.code.size(),
+                    (sg.code.size() + 255) / 256);
+        std::printf("  data RAM       %d rows peak (of 2048)\n",
+                    sg.dataRowsUsed);
+        std::printf("  weight RAM     %d rows (%s)\n",
+                    sg.weightRowsUsed,
+                    sg.weightsPersistent
+                        ? "persistent on-chip"
+                        : "DMA-streamed ping-pong");
+        if (!sg.weightsPersistent)
+            std::printf("  weight stream  %.2f MB in %zu chunks\n",
+                        double(sg.streamImage.size()) / 1e6,
+                        sg.chunks.size());
+        else
+            std::printf("  weight image   %.2f MB preloaded\n",
+                        double(sg.persistentWeights.size()) / 1e6);
+        std::printf("  requant table  %zu entries; %zu LUTs; %zu "
+                    "custom masks\n",
+                    sg.rqTable.size(), sg.luts.size(),
+                    sg.extraMasks.size());
+        if (!sg.inputBands.empty())
+            std::printf("  banded input   %zu bands\n",
+                        sg.inputBands[0].bandLayouts.size());
+
+        std::printf("\n  disassembly (first %d instructions):\n",
+                    disasm_count);
+        for (int i = 0; i < disasm_count &&
+                        i < int(sg.code.size());
+             ++i) {
+            Instruction in = decodeInstruction(sg.code[size_t(i)]);
+            std::printf("    %04x: %016llx%016llx  %s\n", i,
+                        (unsigned long long)sg.code[size_t(i)].hi,
+                        (unsigned long long)sg.code[size_t(i)].lo,
+                        in.toString().c_str());
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

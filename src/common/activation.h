@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Activation functions the OUT unit supports (paper IV-D5: "ReLU, tanh,
+ * and sigmoid"; ReLU6 comes with the MobileNet family). Shared between
+ * the ISA, the GIR and the reference kernels.
+ */
+
+#ifndef NCORE_COMMON_ACTIVATION_H
+#define NCORE_COMMON_ACTIVATION_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace ncore {
+
+/** Activation functions applied by the OUT unit / fused into ops. */
+enum class ActFn : uint8_t {
+    None = 0,
+    Relu,
+    Relu6,
+    Sigmoid,
+    Tanh,
+};
+
+constexpr const char *
+actFnName(ActFn a)
+{
+    switch (a) {
+      case ActFn::None: return "none";
+      case ActFn::Relu: return "relu";
+      case ActFn::Relu6: return "relu6";
+      case ActFn::Sigmoid: return "sigmoid";
+      case ActFn::Tanh: return "tanh";
+    }
+    return "?";
+}
+
+/** Real-valued activation application (float reference path). */
+inline float
+applyActF(ActFn a, float x)
+{
+    switch (a) {
+      case ActFn::None: return x;
+      case ActFn::Relu: return std::max(x, 0.0f);
+      case ActFn::Relu6: return std::clamp(x, 0.0f, 6.0f);
+      case ActFn::Sigmoid: return 1.0f / (1.0f + std::exp(-x));
+      case ActFn::Tanh: return std::tanh(x);
+    }
+    return x;
+}
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_ACTIVATION_H

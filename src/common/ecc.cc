@@ -1,0 +1,105 @@
+#include "ecc.h"
+
+#include <array>
+#include <bit>
+
+namespace ncore {
+
+namespace {
+
+// Codeword positions 1..71: powers of two hold the 7 Hamming parity bits,
+// the rest hold the 64 data bits in ascending order. Check-byte layout:
+// bit 0 = overall parity (SECDED extension), bits 1..7 = Hamming parity
+// bits p0..p6.
+
+constexpr int kCodeBits = 71;
+
+struct Tables
+{
+    // For each parity p: mask over *data bit indices* covered by parity p.
+    std::array<uint64_t, 7> dataMask{};
+    // Codeword position of each data bit.
+    std::array<int, 64> posOfData{};
+    // Data bit index at each codeword position (-1 for parity slots).
+    std::array<int, kCodeBits + 1> dataAtPos{};
+
+    constexpr Tables()
+    {
+        for (auto &v : dataAtPos)
+            v = -1;
+        int di = 0;
+        for (int pos = 1; pos <= kCodeBits; ++pos) {
+            if ((pos & (pos - 1)) == 0)
+                continue; // parity slot
+            posOfData[di] = pos;
+            dataAtPos[pos] = di;
+            for (int p = 0; p < 7; ++p)
+                if (pos & (1 << p))
+                    dataMask[p] |= 1ull << di;
+            ++di;
+        }
+    }
+};
+
+constexpr Tables kTables{};
+
+// Hamming syndrome of the data bits alone (parity slots zero).
+inline int
+dataSyndrome(uint64_t data)
+{
+    int syn = 0;
+    for (int p = 0; p < 7; ++p)
+        syn |= (std::popcount(data & kTables.dataMask[p]) & 1) << p;
+    return syn;
+}
+
+} // namespace
+
+uint8_t
+eccEncode(uint64_t data)
+{
+    // Parity bits are chosen to zero the syndrome.
+    int syn = dataSyndrome(data);
+    uint8_t check = static_cast<uint8_t>(syn << 1);
+    // Overall parity over all data + parity bits (even parity).
+    int total = std::popcount(data) + std::popcount(unsigned(syn));
+    check |= static_cast<uint8_t>(total & 1);
+    return check;
+}
+
+EccResult
+eccDecode(uint64_t data, uint8_t check)
+{
+    int stored_parity_bits = (check >> 1) & 0x7f;
+    bool stored_overall = check & 1;
+
+    // Syndrome = stored parity XOR parity recomputed over the data.
+    int syn = dataSyndrome(data) ^ stored_parity_bits;
+    int total = std::popcount(data) +
+                std::popcount(unsigned(stored_parity_bits));
+    bool parity_mismatch = (total & 1) != int(stored_overall);
+
+    EccResult res;
+    res.data = data;
+    if (syn == 0 && !parity_mismatch)
+        return res; // Clean.
+
+    if (parity_mismatch) {
+        // Odd number of bit flips: treat as a correctable single error.
+        res.correctedError = true;
+        if (syn != 0 && syn <= kCodeBits) {
+            int di = kTables.dataAtPos[syn];
+            if (di >= 0)
+                res.data = data ^ (1ull << di);
+            // else: the flip hit a parity bit; data is already correct.
+        }
+        // syn == 0: the overall parity bit itself flipped; data correct.
+        return res;
+    }
+
+    // Even number of flips with nonzero syndrome: detected, uncorrectable.
+    res.uncorrectable = true;
+    return res;
+}
+
+} // namespace ncore

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * SECDED (single-error-correct, double-error-detect) code over 64-bit
+ * granules, as used by Ncore's data and weight RAMs: "The RAMs implement
+ * 64b ECC which can correct 1-bit errors and detect, but not correct,
+ * 2-bit errors" (paper IV-C2). Implemented as a (72,64) Hsiao-style
+ * extended Hamming code.
+ */
+
+#ifndef NCORE_COMMON_ECC_H
+#define NCORE_COMMON_ECC_H
+
+#include <cstdint>
+
+namespace ncore {
+
+/** Result of decoding a 64-bit granule with its check bits. */
+struct EccResult
+{
+    uint64_t data = 0;          ///< Corrected data word.
+    bool correctedError = false; ///< A single-bit error was fixed.
+    bool uncorrectable = false;  ///< A double-bit error was detected.
+};
+
+/** Compute the 8 check bits for a 64-bit word. */
+uint8_t eccEncode(uint64_t data);
+
+/** Decode and correct a possibly-corrupted (data, check) pair. */
+EccResult eccDecode(uint64_t data, uint8_t check);
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_ECC_H

@@ -1,0 +1,52 @@
+#include "logging.h"
+
+#include <cstdarg>
+
+namespace ncore {
+
+namespace {
+LogLevel gLogLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel = level;
+}
+
+namespace detail {
+
+void
+diePrintf(const char *kind, const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "%s: %s:%d: ", kind, file, line);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+logPrintf(LogLevel level, const char *prefix, const char *fmt, ...)
+{
+    if (static_cast<int>(level) > static_cast<int>(gLogLevel))
+        return;
+    std::fprintf(stderr, "%s", prefix);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace detail
+} // namespace ncore

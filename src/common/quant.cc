@@ -1,0 +1,129 @@
+#include "quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ncore {
+
+Requant
+computeRequant(float real_multiplier, int32_t out_zero_point)
+{
+    fatal_if(real_multiplier <= 0.0f,
+             "requant multiplier must be positive, got %f",
+             static_cast<double>(real_multiplier));
+
+    Requant rq;
+    rq.offset = out_zero_point;
+
+    // Normalize into [0.5, 1) and record the exponent as a right shift.
+    int shift = 0;
+    float m = real_multiplier;
+    while (m < 0.5f) {
+        m *= 2.0f;
+        ++shift;
+    }
+    while (m >= 1.0f) {
+        m /= 2.0f;
+        --shift;
+    }
+    fatal_if(shift < -24,
+             "requant multiplier %f too large for the OUT unit",
+             static_cast<double>(real_multiplier));
+    fatal_if(shift > 31, "requant multiplier %f too small",
+             static_cast<double>(real_multiplier));
+
+    int64_t q = static_cast<int64_t>(std::lround(
+        static_cast<double>(m) * (1ll << 31)));
+    if (q == (1ll << 31)) { // Rounded all the way up.
+        q /= 2;
+        --shift;
+    }
+    rq.multiplier = static_cast<int32_t>(q);
+    rq.shift = static_cast<int8_t>(shift);
+    return rq;
+}
+
+RequantEntry
+makeRequantEntry(float real_multiplier, const QuantParams &out_qp,
+                 DType out_type, ActFn act)
+{
+    RequantEntry e;
+    e.rq = computeRequant(real_multiplier, out_qp.zeroPoint);
+    e.outType = out_type;
+
+    int32_t lo, hi;
+    switch (out_type) {
+      case DType::Int8: lo = -128; hi = 127; break;
+      case DType::UInt8: lo = 0; hi = 255; break;
+      case DType::Int16: lo = -32768; hi = 32767; break;
+      default:
+        fatal("requant output type must be an 8/16-bit integer");
+    }
+    switch (act) {
+      case ActFn::Relu:
+        lo = std::max(lo, out_qp.zeroPoint);
+        break;
+      case ActFn::Relu6: {
+        lo = std::max(lo, out_qp.zeroPoint);
+        int32_t q6 = out_qp.quantize(6.0f, out_type);
+        hi = std::min(hi, q6);
+        break;
+      }
+      case ActFn::None:
+      case ActFn::Sigmoid:
+      case ActFn::Tanh:
+        break; // Sigmoid/tanh go through the LUT, not the clamp.
+    }
+    e.actMin = lo;
+    e.actMax = hi;
+    return e;
+}
+
+AddQuantPlan
+makeAddPlan(const QuantParams &a_qp, const QuantParams &b_qp,
+            const QuantParams &out_qp, DType out_type, ActFn act)
+{
+    AddQuantPlan plan;
+    float smax = std::max(a_qp.scale, b_qp.scale);
+    plan.ka = std::max<int32_t>(
+        1, int32_t(std::lround(127.0f * a_qp.scale / smax)));
+    plan.kb = std::max<int32_t>(
+        1, int32_t(std::lround(127.0f * b_qp.scale / smax)));
+    // acc counts units of smax/127; fold back to the output scale.
+    float m = smax / (127.0f * out_qp.scale);
+    plan.entry = makeRequantEntry(m, out_qp, out_type, act);
+    return plan;
+}
+
+QuantParams
+chooseSymmetricInt8(float abs_max)
+{
+    QuantParams qp;
+    if (abs_max <= 0.0f)
+        abs_max = 1.0f;
+    qp.scale = abs_max / 127.0f;
+    qp.zeroPoint = 0;
+    return qp;
+}
+
+QuantParams
+chooseAsymmetricUint8(float min_val, float max_val)
+{
+    // The representable range must include zero exactly (TFLite rule).
+    if (min_val > 0.0f)
+        min_val = 0.0f;
+    if (max_val < 0.0f)
+        max_val = 0.0f;
+    if (max_val == min_val)
+        max_val = min_val + 1.0f;
+
+    QuantParams qp;
+    qp.scale = (max_val - min_val) / 255.0f;
+    float zp = -min_val / qp.scale;
+    qp.zeroPoint = satNarrowU8(static_cast<int32_t>(std::lround(zp)));
+    return qp;
+}
+
+} // namespace ncore

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random generation for synthetic weights and test
+ * inputs. Everything in this repository that needs randomness goes through
+ * this xoshiro256** implementation so results are reproducible across
+ * platforms (std::mt19937 distributions are not portable across stdlibs).
+ */
+
+#ifndef NCORE_COMMON_RNG_H
+#define NCORE_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace ncore {
+
+/** Portable deterministic RNG (xoshiro256** with splitmix64 seeding). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Reset the stream from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // splitmix64 to expand the seed into four non-zero words.
+        for (auto &word : s) {
+            seed += 0x9e3779b97f4a7c15ull;
+            uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64 random bits. */
+    uint64_t
+    next64()
+    {
+        uint64_t result = rotl(s[1] * 5, 7) * 9;
+        uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    uint64_t
+    nextBelow(uint64_t bound)
+    {
+        // Modulo bias is irrelevant for our bounds (<< 2^32).
+        return next64() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    nextRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            nextBelow(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    nextFloat()
+    {
+        return static_cast<float>(next64() >> 40) * 0x1.0p-24f;
+    }
+
+    /** Approximately normal(0, 1) via sum of uniforms (Irwin-Hall). */
+    float
+    nextGaussian()
+    {
+        float acc = 0.0f;
+        for (int i = 0; i < 12; ++i)
+            acc += nextFloat();
+        return acc - 6.0f;
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t s[4];
+};
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_RNG_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Saturating arithmetic helpers matching the NPU's 32-bit saturating
+ * accumulator and the OUT unit's narrowing stores (paper IV-D4, IV-D5).
+ */
+
+#ifndef NCORE_COMMON_SATURATE_H
+#define NCORE_COMMON_SATURATE_H
+
+#include <cstdint>
+#include <limits>
+
+namespace ncore {
+
+/** Saturating 32-bit add: clamps to [INT32_MIN, INT32_MAX]. */
+constexpr int32_t
+satAdd32(int32_t a, int32_t b)
+{
+    int64_t s = static_cast<int64_t>(a) + static_cast<int64_t>(b);
+    if (s > std::numeric_limits<int32_t>::max())
+        return std::numeric_limits<int32_t>::max();
+    if (s < std::numeric_limits<int32_t>::min())
+        return std::numeric_limits<int32_t>::min();
+    return static_cast<int32_t>(s);
+}
+
+/** Saturate a 64-bit value into int32. */
+constexpr int32_t
+satNarrow32(int64_t v)
+{
+    if (v > std::numeric_limits<int32_t>::max())
+        return std::numeric_limits<int32_t>::max();
+    if (v < std::numeric_limits<int32_t>::min())
+        return std::numeric_limits<int32_t>::min();
+    return static_cast<int32_t>(v);
+}
+
+/** Saturate into int8. */
+constexpr int8_t
+satNarrow8(int32_t v)
+{
+    if (v > 127)
+        return 127;
+    if (v < -128)
+        return -128;
+    return static_cast<int8_t>(v);
+}
+
+/** Saturate into uint8. */
+constexpr uint8_t
+satNarrowU8(int32_t v)
+{
+    if (v > 255)
+        return 255;
+    if (v < 0)
+        return 0;
+    return static_cast<uint8_t>(v);
+}
+
+/** Saturate into int16. */
+constexpr int16_t
+satNarrow16(int32_t v)
+{
+    if (v > 32767)
+        return 32767;
+    if (v < -32768)
+        return -32768;
+    return static_cast<int16_t>(v);
+}
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_SATURATE_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Small statistics helpers used by the MLPerf-style harness: latency
+ * percentiles and simple accumulators.
+ */
+
+#ifndef NCORE_COMMON_STATS_H
+#define NCORE_COMMON_STATS_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace ncore {
+
+/** Accumulates samples and reports order statistics. */
+class SampleStats
+{
+  public:
+    void add(double v) { samples_.push_back(v); }
+    size_t count() const { return samples_.size(); }
+
+    double
+    mean() const
+    {
+        if (samples_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : samples_)
+            s += v;
+        return s / static_cast<double>(samples_.size());
+    }
+
+    double min() const { return order(0.0); }
+    double max() const { return order(1.0); }
+
+    /** Percentile in [0, 1], e.g. 0.90 for MLPerf SingleStream p90. */
+    double
+    percentile(double p) const
+    {
+        return order(p);
+    }
+
+  private:
+    double
+    order(double p) const
+    {
+        panic_if(samples_.empty(), "percentile of empty sample set");
+        std::vector<double> sorted = samples_;
+        std::sort(sorted.begin(), sorted.end());
+        double idx = p * static_cast<double>(sorted.size() - 1);
+        size_t lo = static_cast<size_t>(idx);
+        size_t hi = std::min(lo + 1, sorted.size() - 1);
+        double frac = idx - static_cast<double>(lo);
+        return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    }
+
+    std::vector<double> samples_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_STATS_H

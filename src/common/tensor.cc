@@ -1,0 +1,179 @@
+#include "tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/saturate.h"
+
+namespace ncore {
+
+std::string
+Shape::toString() const
+{
+    std::string s;
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            s += "x";
+        s += std::to_string(dims_[i]);
+    }
+    return s.empty() ? "scalar" : s;
+}
+
+int32_t
+Tensor::intAt(int64_t i) const
+{
+    const uint8_t *p = data_.data() +
+        static_cast<size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::Int8:
+        return *reinterpret_cast<const int8_t *>(p);
+      case DType::UInt8:
+        return *p;
+      case DType::Int16: {
+        int16_t v;
+        std::memcpy(&v, p, 2);
+        return v;
+      }
+      case DType::Int32: {
+        int32_t v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      default:
+        panic("intAt() on non-integer tensor (%s)", dtypeName(dtype_));
+    }
+}
+
+void
+Tensor::setIntAt(int64_t i, int32_t v)
+{
+    uint8_t *p = data_.data() + static_cast<size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::Int8: {
+        int8_t n = satNarrow8(v);
+        std::memcpy(p, &n, 1);
+        break;
+      }
+      case DType::UInt8: {
+        uint8_t n = satNarrowU8(v);
+        std::memcpy(p, &n, 1);
+        break;
+      }
+      case DType::Int16: {
+        int16_t n = satNarrow16(v);
+        std::memcpy(p, &n, 2);
+        break;
+      }
+      case DType::Int32:
+        std::memcpy(p, &v, 4);
+        break;
+      default:
+        panic("setIntAt() on non-integer tensor (%s)", dtypeName(dtype_));
+    }
+}
+
+float
+Tensor::realAt(int64_t i) const
+{
+    switch (dtype_) {
+      case DType::Float32:
+      case DType::BFloat16:
+        return floatAt(i);
+      default:
+        return quant_.dequantize(intAt(i));
+    }
+}
+
+float
+Tensor::floatAt(int64_t i) const
+{
+    const uint8_t *p = data_.data() +
+        static_cast<size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::Float32: {
+        float v;
+        std::memcpy(&v, p, 4);
+        return v;
+      }
+      case DType::BFloat16: {
+        uint16_t b;
+        std::memcpy(&b, p, 2);
+        return BFloat16::fromBits(b).toFloat();
+      }
+      default:
+        panic("floatAt() on integer tensor (%s)", dtypeName(dtype_));
+    }
+}
+
+void
+Tensor::setFloatAt(int64_t i, float v)
+{
+    uint8_t *p = data_.data() + static_cast<size_t>(i) * dtypeSize(dtype_);
+    switch (dtype_) {
+      case DType::Float32:
+        std::memcpy(p, &v, 4);
+        break;
+      case DType::BFloat16: {
+        uint16_t b = BFloat16::fromFloat(v).bits;
+        std::memcpy(p, &b, 2);
+        break;
+      }
+      default:
+        panic("setFloatAt() on integer tensor (%s)", dtypeName(dtype_));
+    }
+}
+
+void
+Tensor::fillRandom(Rng &rng)
+{
+    int64_t n = numElements();
+    switch (dtype_) {
+      case DType::Int8:
+        for (int64_t i = 0; i < n; ++i)
+            setIntAt(i, static_cast<int32_t>(rng.nextRange(-127, 127)));
+        break;
+      case DType::UInt8:
+        for (int64_t i = 0; i < n; ++i)
+            setIntAt(i, static_cast<int32_t>(rng.nextRange(0, 255)));
+        break;
+      case DType::Int16:
+        for (int64_t i = 0; i < n; ++i)
+            setIntAt(i, static_cast<int32_t>(rng.nextRange(-1024, 1024)));
+        break;
+      case DType::Int32:
+        for (int64_t i = 0; i < n; ++i)
+            setIntAt(i, static_cast<int32_t>(rng.nextRange(-100000,
+                                                           100000)));
+        break;
+      case DType::Float32:
+      case DType::BFloat16:
+        for (int64_t i = 0; i < n; ++i)
+            setFloatAt(i, rng.nextGaussian());
+        break;
+    }
+}
+
+void
+Tensor::fillGaussian(Rng &rng, float sigma)
+{
+    panic_if(dtype_ != DType::Float32 && dtype_ != DType::BFloat16,
+             "fillGaussian() needs a float tensor");
+    int64_t n = numElements();
+    for (int64_t i = 0; i < n; ++i)
+        setFloatAt(i, rng.nextGaussian() * sigma);
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    panic_if(a.numElements() != b.numElements(),
+             "maxAbsDiff over mismatched tensors (%lld vs %lld elems)",
+             static_cast<long long>(a.numElements()),
+             static_cast<long long>(b.numElements()));
+    float worst = 0.0f;
+    for (int64_t i = 0; i < a.numElements(); ++i)
+        worst = std::max(worst, std::fabs(a.realAt(i) - b.realAt(i)));
+    return worst;
+}
+
+} // namespace ncore

@@ -1,0 +1,1292 @@
+#include "compiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/lut.h"
+#include "gcl/passes.h"
+
+namespace ncore {
+
+namespace {
+
+constexpr int kMaskRows = MaskTable::kRows;
+constexpr int kDataRamRows = 2048;
+constexpr int kWeightRamRows = 2048;
+
+bool
+isQuantU8(const Graph &g, TensorId id)
+{
+    return g.tensor(id).dtype == DType::UInt8;
+}
+
+/** Weighted (MAC) node kinds that own a weight image. */
+bool
+hasWeights(OpKind k)
+{
+    return k == OpKind::Conv2D || k == OpKind::DepthwiseConv2D ||
+           k == OpKind::FullyConnected;
+}
+
+// -------------------------------------------------------------------
+// Scratchpad row allocator (first fit with coalescing free list)
+// -------------------------------------------------------------------
+
+class RowAllocator
+{
+  public:
+    RowAllocator(int begin, int end) { free_[begin] = end - begin; }
+
+    int
+    allocate(int rows)
+    {
+        for (auto it = free_.begin(); it != free_.end(); ++it) {
+            if (it->second >= rows) {
+                int base = it->first;
+                int remaining = it->second - rows;
+                free_.erase(it);
+                if (remaining > 0)
+                    free_[base + rows] = remaining;
+                peak_ = std::max(peak_, used_ += rows);
+                return base;
+            }
+        }
+        return -1;
+    }
+
+    void
+    release(int base, int rows)
+    {
+        used_ -= rows;
+        auto next = free_.upper_bound(base);
+        // Merge with the previous range when adjacent.
+        if (next != free_.begin()) {
+            auto prev = std::prev(next);
+            if (prev->first + prev->second == base) {
+                base = prev->first;
+                rows += prev->second;
+                free_.erase(prev);
+            }
+        }
+        if (next != free_.end() && base + rows == next->first) {
+            rows += next->second;
+            free_.erase(next);
+        }
+        free_[base] = rows;
+    }
+
+    int peak() const { return peak_; }
+
+  private:
+    std::map<int, int> free_; // base -> length
+    int used_ = 0;
+    int peak_ = 0;
+};
+
+// -------------------------------------------------------------------
+// Pad requirement propagation
+// -------------------------------------------------------------------
+
+struct Pads
+{
+    int t = 0, b = 0, l = 0, r = 0;
+
+    void
+    maxWith(const Pads &o)
+    {
+        t = std::max(t, o.t);
+        b = std::max(b, o.b);
+        l = std::max(l, o.l);
+        r = std::max(r, o.r);
+    }
+
+    bool operator==(const Pads &) const = default;
+};
+
+/**
+ * Requirements a consumer node places on its spatial input. Only the
+ * node's own convolution padding is materialized: downstream layout
+ * padding of the consumer's *output* shifts gathers by a small
+ * negative delta, which is safe — the affected lanes are the output's
+ * own pad lanes, re-stamped by the edge-patch pass (see emitConv).
+ * Propagating downstream pads through strides would grow them
+ * geometrically along stride-2 chains.
+ */
+Pads
+inputPadsFor(const Node &n, const Pads &out_pads)
+{
+    Pads p;
+    switch (n.kind) {
+      case OpKind::Conv2D:
+      case OpKind::DepthwiseConv2D:
+      case OpKind::MaxPool2D:
+      case OpKind::AvgPool2D:
+        p.t = n.attrs.padTop;
+        p.b = n.attrs.padBottom;
+        p.l = n.attrs.padLeft;
+        p.r = n.attrs.padRight;
+        break;
+      case OpKind::Add:
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+      case OpKind::Relu:
+      case OpKind::Relu6:
+        p = out_pads; // Lane-aligned ops.
+        break;
+      default:
+        break; // FC / Reshape: no spatial requirement.
+    }
+    return p;
+}
+
+} // namespace
+
+bool
+ncoreSupports(const Graph &g, const Node &n)
+{
+    switch (n.kind) {
+      case OpKind::Conv2D:
+      case OpKind::DepthwiseConv2D: {
+        if (!isQuantU8(g, n.inputs[0]) || !isQuantU8(g, n.outputs[0]))
+            return false;
+        if (n.attrs.strideH != n.attrs.strideW ||
+            (n.attrs.strideH != 1 && n.attrs.strideH != 2))
+            return false;
+        const Shape &w = g.tensor(n.inputs[1]).shape;
+        int64_t kh = w.dim(1), kw = w.dim(2);
+        if (kw > 8 || n.attrs.fusedAct == ActFn::Sigmoid ||
+            n.attrs.fusedAct == ActFn::Tanh)
+            return false;
+        if (n.kind == OpKind::DepthwiseConv2D && kh * kw > 64)
+            return false;
+        return true;
+      }
+      case OpKind::FullyConnected:
+        return isQuantU8(g, n.inputs[0]);
+      case OpKind::Add:
+        return isQuantU8(g, n.inputs[0]) && isQuantU8(g, n.inputs[1]);
+      case OpKind::MaxPool2D:
+        return isQuantU8(g, n.inputs[0]) && n.attrs.kernelW <= 8 &&
+               n.attrs.strideW <= 2;
+      case OpKind::AvgPool2D:
+        // The hardware divides by the full window; padded average
+        // pools would need per-position counts.
+        return isQuantU8(g, n.inputs[0]) && n.attrs.kernelW <= 8 &&
+               n.attrs.strideW <= 2 && n.attrs.padTop == 0 &&
+               n.attrs.padLeft == 0;
+      case OpKind::Sigmoid:
+      case OpKind::Tanh:
+        return isQuantU8(g, n.inputs[0]);
+      case OpKind::Reshape: {
+        // Pure aliasing between vector-like shapes.
+        const Shape &in = g.tensor(n.inputs[0]).shape;
+        const Shape &out = g.tensor(n.outputs[0]).shape;
+        auto vector_like = [](const Shape &s) {
+            return s.rank() == 2 ||
+                   (s.rank() == 4 && s.dim(1) == 1 && s.dim(2) == 1);
+        };
+        return isQuantU8(g, n.inputs[0]) && vector_like(in) &&
+               vector_like(out);
+      }
+      default:
+        return false;
+    }
+}
+
+namespace {
+
+// -------------------------------------------------------------------
+// Subgraph compilation
+// -------------------------------------------------------------------
+
+class SubgraphCompiler
+{
+  public:
+    SubgraphCompiler(const Graph &g, const std::vector<int> &node_ids,
+                     const CompileOptions &opts)
+        : g_(g), nodeIds_(node_ids), opts_(opts)
+    {}
+
+    CompiledSubgraph
+    run()
+    {
+        sg_.nodeIds = nodeIds_;
+        sg_.masks.baseRow = 0;
+        collectBoundary();
+        resolveAliases();
+        assignPads();
+        buildLayouts();
+        planStem();
+        planPacking();
+        syncStemWithOutput();
+        planBanding();
+        planDataRam();
+        planWeights();
+        generate();
+        return std::move(sg_);
+    }
+
+  private:
+    const Node &node(int id) const { return g_.nodes()[size_t(id)]; }
+
+    bool
+    inSubgraph(int node_id) const
+    {
+        return std::find(nodeIds_.begin(), nodeIds_.end(), node_id) !=
+               nodeIds_.end();
+    }
+
+    void
+    collectBoundary()
+    {
+        std::vector<bool> produced(size_t(g_.numTensors()), false);
+        for (int id : nodeIds_)
+            for (TensorId out : node(id).outputs)
+                produced[size_t(out)] = true;
+
+        std::vector<bool> seen_in(size_t(g_.numTensors()), false);
+        for (int id : nodeIds_)
+            for (TensorId in : node(id).inputs) {
+                const GirTensor &t = g_.tensor(in);
+                if (t.isConst || produced[size_t(in)] ||
+                    seen_in[size_t(in)])
+                    continue;
+                seen_in[size_t(in)] = true;
+                sg_.inputs.push_back(in);
+            }
+
+        // Outputs: produced here and consumed outside (or graph output).
+        for (int id : nodeIds_)
+            for (TensorId out : node(id).outputs) {
+                bool external =
+                    std::find(g_.outputs().begin(), g_.outputs().end(),
+                              out) != g_.outputs().end();
+                for (size_t ni = 0; ni < g_.nodes().size() && !external;
+                     ++ni) {
+                    if (inSubgraph(int(ni)))
+                        continue;
+                    for (TensorId in : g_.nodes()[ni].inputs)
+                        if (in == out)
+                            external = true;
+                }
+                if (external)
+                    sg_.outputs.push_back(out);
+            }
+    }
+
+    /** Union-find for Reshape aliasing. */
+    void
+    resolveAliases()
+    {
+        for (int id : nodeIds_) {
+            const Node &n = node(id);
+            if (n.kind == OpKind::Reshape)
+                aliasOf_[n.outputs[0]] = canonical(n.inputs[0]);
+        }
+    }
+
+    TensorId
+    canonical(TensorId id) const
+    {
+        auto it = aliasOf_.find(id);
+        while (it != aliasOf_.end()) {
+            id = it->second;
+            it = aliasOf_.find(id);
+        }
+        return id;
+    }
+
+    void
+    assignPads()
+    {
+        // Fixpoint over consumer requirements + Add equalization.
+        for (int iter = 0; iter < 10; ++iter) {
+            bool changed = false;
+            for (auto rit = nodeIds_.rbegin(); rit != nodeIds_.rend();
+                 ++rit) {
+                const Node &n = node(*rit);
+                Pads out_pads = pads_[canonical(n.outputs[0])];
+                for (TensorId in : n.inputs) {
+                    if (g_.tensor(in).isConst)
+                        continue;
+                    Pads req = inputPadsFor(n, out_pads);
+                    Pads &cur = pads_[canonical(in)];
+                    Pads merged = cur;
+                    merged.maxWith(req);
+                    if (!(merged == cur)) {
+                        cur = merged;
+                        changed = true;
+                    }
+                }
+                if (n.kind == OpKind::Add) {
+                    // All three tensors must share one geometry.
+                    Pads m = pads_[canonical(n.outputs[0])];
+                    m.maxWith(pads_[canonical(n.inputs[0])]);
+                    m.maxWith(pads_[canonical(n.inputs[1])]);
+                    for (TensorId t : {n.outputs[0], n.inputs[0],
+                                       n.inputs[1]}) {
+                        Pads &cur = pads_[canonical(t)];
+                        if (!(cur == m)) {
+                            cur = m;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if (!changed)
+                return;
+        }
+        fatal("layout pad propagation did not converge");
+    }
+
+    /** Tensors that want the flat layout (FC outputs / rank-2 IO). */
+    bool
+    wantsFlat(TensorId id) const
+    {
+        for (int nid : nodeIds_) {
+            const Node &n = node(nid);
+            if (n.outputs[0] == id && n.kind == OpKind::FullyConnected)
+                return true;
+        }
+        return g_.tensor(id).shape.rank() == 2 &&
+               g_.producer(id) == nullptr;
+    }
+
+    /** FC over an interleaved 1x1 input runs as a dense 1x1 conv
+     *  (4x denser weight image; the MobileNet classifier would
+     *  otherwise push the model out of on-chip weight persistence). */
+    bool
+    fcAsConv(const Node &n) const
+    {
+        auto it = layouts_.find(canonical(n.inputs[0]));
+        return it != layouts_.end() &&
+               it->second.kind == LayoutKind::Interleaved;
+    }
+
+    void
+    buildLayouts()
+    {
+        auto make_layout = [&](TensorId id, const Node *producer) {
+            TensorId c = canonical(id);
+            if (layouts_.count(c))
+                return;
+            const GirTensor &t = g_.tensor(c);
+            Pads p = pads_[c];
+            TensorLayout lay;
+            if (producer && producer->kind == OpKind::FullyConnected &&
+                fcAsConv(*producer)) {
+                int64_t cout = t.shape.dim(t.shape.rank() - 1);
+                lay = interleavedLayout(Shape{1, 1, 1, cout}, 0, 0, 0,
+                                        0, uint8_t(t.quant.zeroPoint));
+            } else if (wantsFlat(c) || t.shape.rank() != 4) {
+                lay = flatLayout(t.shape.numElements(), false);
+                lay.zeroByte = uint8_t(t.quant.zeroPoint);
+            } else {
+                // Tensors that fit a single x-tile without pads keep
+                // them unmaterialized: edge gathers wrap into the
+                // zero-stamped tail (see emitConv), saving a whole
+                // tile on 56-wide stages.
+                int pl = p.l, pr = p.r;
+                if (t.shape.dim(2) + p.l + p.r > kOwnW &&
+                    t.shape.dim(2) <= 56 && p.l <= 1 && p.r <= 1) {
+                    pl = 0;
+                    pr = 0;
+                }
+                lay = interleavedLayout(t.shape, p.t, p.b, pl, pr,
+                                        uint8_t(t.quant.zeroPoint));
+            }
+            layouts_[c] = lay;
+        };
+
+        for (int id : nodeIds_) {
+            const Node &n = node(id);
+            for (TensorId in : n.inputs)
+                if (!g_.tensor(in).isConst)
+                    make_layout(in, nullptr);
+            for (TensorId out : n.outputs)
+                make_layout(out, &n);
+        }
+    }
+
+    /**
+     * Small-channel network inputs (C * kw <= 64 bytes) consumed by a
+     * single stem convolution use the GroupedRf layout: each lane
+     * group holds its output position's packed receptive-field row,
+     * so the stem runs dense kh*kw*cin-tap loops instead of wasting
+     * 64-channel groups on a 3-channel image (the NKL's hand-tuned
+     * stem kernels, paper V-B).
+     */
+    void
+    planStem()
+    {
+        if (nodeIds_.empty())
+            return;
+        const Node &first = node(nodeIds_[0]);
+        if (first.kind != OpKind::Conv2D)
+            return;
+        TensorId in = canonical(first.inputs[0]);
+        if (std::find(sg_.inputs.begin(), sg_.inputs.end(), in) ==
+            sg_.inputs.end())
+            return;
+        for (size_t pos = 1; pos < nodeIds_.size(); ++pos)
+            for (TensorId t : node(nodeIds_[pos]).inputs)
+                if (canonical(t) == in)
+                    return; // Not the sole consumer.
+
+        const GirTensor &in_t = g_.tensor(in);
+        const Shape &w = g_.tensor(first.inputs[1]).shape;
+        int cin = int(in_t.shape.dim(3));
+        int kw = int(w.dim(2));
+        if (cin * kw > 64 || cin > kCBlock)
+            return;
+
+        const TensorLayout &out = layouts_.at(
+            canonical(first.outputs[0]));
+        TensorLayout &lay = layouts_[in];
+        TensorLayout rf = interleavedLayout(
+            in_t.shape, first.attrs.padTop, first.attrs.padBottom,
+            first.attrs.padLeft, first.attrs.padRight, lay.zeroByte);
+        rf.kind = LayoutKind::GroupedRf;
+        rf.rfStride = first.attrs.strideW;
+        rf.rfKw = kw;
+        rf.rfOutTiles = out.xtiles();
+        rf.rfOutPadL = out.padLeft;
+        lay = rf;
+        stemNodeId_ = nodeIds_[0];
+        stemInput_ = in;
+    }
+
+    /**
+     * The packing pass may replace the stem's output layout (or stage
+     * it through a repack temp); the GroupedRf geometry must track the
+     * layout the stem actually writes.
+     */
+    void
+    syncStemWithOutput()
+    {
+        if (stemNodeId_ < 0)
+            return;
+        const Node &first = node(stemNodeId_);
+        const TensorLayout &target =
+            outLayoutFor(stemNodeId_, first.outputs[0]);
+        fatal_if(target.packed(),
+                 "stem convolutions write plain rows (repack follows)");
+        TensorLayout &rf = layouts_.at(stemInput_);
+        rf.rfOutTiles = target.xtiles();
+        rf.rfOutPadL = target.padLeft;
+    }
+
+    /**
+     * Y-packing for small-width deep layers (paper IV-E: a spatial
+     * dimension is rounded to a power of two and W x K fills the 4096
+     * lanes; when W alone cannot, fold consecutive ys into the row).
+     * A tensor is packed when its width allows it and every consumer
+     * can gather from packed rows; producers that cannot write packed
+     * rows (stride-2 layers, region entries) emit into a shared plain
+     * scratch and an on-chip repack pass follows.
+     */
+    bool
+    consumerAllowsPacking(const Node &n, TensorId c) const
+    {
+        switch (n.kind) {
+          case OpKind::Conv2D:
+          case OpKind::DepthwiseConv2D: {
+            const Shape &w = g_.tensor(n.inputs[1]).shape;
+            return canonical(n.inputs[0]) == c && w.dim(1) <= 7 &&
+                   w.dim(2) <= 7 && n.attrs.padLeft <= 1 &&
+                   n.attrs.padTop <= 1;
+          }
+          case OpKind::MaxPool2D:
+            // Padded max-pools stage through the min-code scratch,
+            // which runs on plain layouts.
+            return n.attrs.kernelW <= 7 && n.attrs.padLeft == 0 &&
+                   n.attrs.padTop == 0;
+          case OpKind::AvgPool2D:
+            return n.attrs.kernelW <= 7 && n.attrs.padLeft <= 1 &&
+                   n.attrs.padTop <= 1;
+          case OpKind::Add:
+            return true; // Equalized below.
+          default:
+            return false;
+        }
+    }
+
+    void
+    planPacking()
+    {
+        if (getenv("NCORE_NO_PACKING"))
+            return;
+        // Initial candidates.
+        std::unordered_map<TensorId, bool> want;
+        for (auto &kv : layouts_) {
+            TensorId c = kv.first;
+            const TensorLayout &lay = kv.second;
+            if (lay.kind != LayoutKind::Interleaved || lay.w < 2 ||
+                !yPackable(lay.w))
+                continue;
+            Pads p = pads_.count(c) ? pads_.at(c) : Pads{};
+            if (p.t > 1 || p.b > 1 || p.l > 1 || p.r > 1)
+                continue;
+            bool ok = true;
+            for (int id : nodeIds_) {
+                const Node &n = node(id);
+                bool consumes = false;
+                for (TensorId in : n.inputs)
+                    if (canonical(in) == c)
+                        consumes = true;
+                if (consumes && !consumerAllowsPacking(n, c))
+                    ok = false;
+            }
+            if (ok)
+                want[c] = true;
+        }
+
+        // Adds need identical layouts on a, b and out: equalize to
+        // the weakest member (fixpoint).
+        for (int iter = 0; iter < 8; ++iter) {
+            bool changed = false;
+            for (int id : nodeIds_) {
+                const Node &n = node(id);
+                if (n.kind != OpKind::Add)
+                    continue;
+                TensorId ts[3] = {canonical(n.inputs[0]),
+                                  canonical(n.inputs[1]),
+                                  canonical(n.outputs[0])};
+                bool all = true;
+                for (TensorId t : ts)
+                    all &= want.count(t) && want[t];
+                if (!all)
+                    for (TensorId t : ts)
+                        if (want.count(t) && want[t]) {
+                            want[t] = false;
+                            changed = true;
+                        }
+            }
+            if (!changed)
+                break;
+        }
+
+        // Convert layouts; decide repacks.
+        for (auto &kv : want) {
+            if (!kv.second)
+                continue;
+            TensorId c = kv.first;
+            const GirTensor &t = g_.tensor(c);
+            TensorLayout packed = yPackedLayout(
+                Shape{1, t.shape.dim(1), t.shape.dim(2),
+                      t.shape.dim(3)},
+                uint8_t(t.quant.zeroPoint));
+            layouts_[c] = packed;
+        }
+        for (auto &kv : want) {
+            if (!kv.second)
+                continue;
+            TensorId c = kv.first;
+            const Node *producer = nullptr;
+            int producer_id = -1;
+            for (int id : nodeIds_)
+                for (TensorId out : node(id).outputs)
+                    if (canonical(out) == c) {
+                        producer = &node(id);
+                        producer_id = id;
+                    }
+            if (!producer)
+                continue; // Subgraph input: the host packs directly.
+            bool direct = false;
+            switch (producer->kind) {
+              case OpKind::Conv2D:
+              case OpKind::DepthwiseConv2D: {
+                const Shape &w = g_.tensor(producer->inputs[1]).shape;
+                direct = producer->attrs.strideH == 1 &&
+                         w.dim(1) <= 3 &&
+                         layouts_
+                             .at(canonical(producer->inputs[0]))
+                             .packed();
+                break;
+              }
+              case OpKind::MaxPool2D:
+              case OpKind::AvgPool2D:
+                direct = producer->attrs.strideH == 1 &&
+                         producer->attrs.kernelH <= 3 &&
+                         layouts_
+                             .at(canonical(producer->inputs[0]))
+                             .packed();
+                break;
+              case OpKind::Add:
+                direct = layouts_
+                             .at(canonical(producer->inputs[0]))
+                             .packed() &&
+                         layouts_
+                             .at(canonical(producer->inputs[1]))
+                             .packed();
+                break;
+              default:
+                direct = false;
+                break;
+            }
+            if (!direct) {
+                const GirTensor &t = g_.tensor(c);
+                TensorLayout temp = interleavedLayout(
+                    Shape{1, t.shape.dim(1), t.shape.dim(2),
+                          t.shape.dim(3)},
+                    1, 1, 1, 1, uint8_t(t.quant.zeroPoint));
+                repackTemp_[producer_id] = temp;
+                repackTensor_[producer_id] = c;
+            }
+        }
+
+        // Content-mask rows are carved right after the prefix table,
+        // before tensor placement.
+        for (auto &kv : want)
+            if (kv.second)
+                contentMaskRowFor(layouts_.at(kv.first));
+    }
+
+    /** Data-RAM row of the content mask for a packed layout. */
+    int
+    contentMaskRowFor(const TensorLayout &lay)
+    {
+        uint64_t key = uint64_t(lay.pitch) << 32 |
+                       uint64_t(lay.ny) << 16 | uint64_t(lay.w) << 4 |
+                       uint64_t(lay.padLeft);
+        auto it = contentMasks_.find(key);
+        if (it != contentMasks_.end())
+            return it->second;
+        int row = sg_.masks.baseRow + MaskTable::kRows +
+                  int(sg_.extraMasks.size());
+        sg_.extraMasks.push_back({row, yPackedContentMask(lay)});
+        contentMasks_[key] = row;
+        return row;
+    }
+
+    /**
+     * Oversized subgraph inputs (e.g. SSD's 300x300x3 image: tiny
+     * channel count, huge spatial extent) cannot be fully resident.
+     * When the first node is their sole consumer conv, stage them in
+     * y-bands through a reusable buffer.
+     */
+    void
+    planBanding()
+    {
+        const int kResidencyLimit = opts_.bandingResidencyLimit;
+        constexpr int kBandBudget = 700; // buffer rows
+
+        if (nodeIds_.empty())
+            return;
+        const Node &first = node(nodeIds_[0]);
+        if (first.kind != OpKind::Conv2D &&
+            first.kind != OpKind::DepthwiseConv2D)
+            return;
+        TensorId in = canonical(first.inputs[0]);
+        if (std::find(sg_.inputs.begin(), sg_.inputs.end(), in) ==
+            sg_.inputs.end())
+            return;
+        TensorLayout &lay = layouts_[in];
+        if (lay.kind == LayoutKind::Flat ||
+            lay.rows() <= kResidencyLimit)
+            return;
+        // Sole consumer required.
+        for (size_t pos = 1; pos < nodeIds_.size(); ++pos)
+            for (TensorId t : node(nodeIds_[pos]).inputs)
+                if (canonical(t) == in)
+                    return;
+
+        const GirTensor &out_t = g_.tensor(first.outputs[0]);
+        const int h_o = int(out_t.shape.dim(1));
+        const int s = first.attrs.strideH;
+        const int kh = int(g_.tensor(first.inputs[1]).shape.dim(1));
+        const int per_y = lay.cblocks() * lay.xtiles();
+
+        int nbands = 2, band_out = h_o, band_h = lay.paddedH();
+        for (; nbands <= 64; ++nbands) {
+            band_out = (h_o + nbands - 1) / nbands;
+            band_h = (band_out - 1) * s + kh;
+            if (band_h * per_y <= kBandBudget)
+                break;
+        }
+        fatal_if(band_h * per_y > kBandBudget,
+                 "input tensor too large even for banded staging");
+
+        bandTensor_ = in;
+        bandOut_ = band_out;
+        bandH_ = band_h;
+        lay.bandH = band_h; // Allocation covers one band.
+    }
+
+    void
+    planDataRam()
+    {
+        RowAllocator alloc(kMaskRows + int(sg_.extraMasks.size()),
+                           kDataRamRows);
+
+        // Shared scratch regions: one for repack staging (plain
+        // temporaries), a separate one for the min-code copies of
+        // padded max-pool inputs (a pool may use both at once when
+        // its output is itself repacked).
+        int repack_rows = 0;
+        for (auto &kv : repackTemp_)
+            repack_rows = std::max(repack_rows, kv.second.rows());
+        if (repack_rows > 0) {
+            int base = alloc.allocate(repack_rows);
+            fatal_if(base < 0, "no room for the repack scratch");
+            for (auto &kv : repackTemp_)
+                kv.second.baseRow = base;
+            if (getenv("NCORE_DUMP_ALLOC"))
+                std::fprintf(stderr, "repack scratch  [%d, %d)\n",
+                             base, base + repack_rows);
+        }
+        int restamp_rows = 0;
+        for (int id : nodeIds_) {
+            const Node &n = node(id);
+            if (n.kind == OpKind::MaxPool2D &&
+                (n.attrs.padTop > 0 || n.attrs.padLeft > 0))
+                restamp_rows = std::max(
+                    restamp_rows,
+                    layouts_.at(canonical(n.inputs[0])).rows());
+        }
+        if (restamp_rows > 0) {
+            scratchBase_ = alloc.allocate(restamp_rows);
+            fatal_if(scratchBase_ < 0,
+                     "no room for the max-pool restamp scratch");
+            if (getenv("NCORE_DUMP_ALLOC"))
+                std::fprintf(stderr, "restamp scratch [%d, %d)\n",
+                             scratchBase_,
+                             scratchBase_ + restamp_rows);
+        }
+
+        // Death index per canonical tensor.
+        std::unordered_map<TensorId, int> death;
+        for (size_t pos = 0; pos < nodeIds_.size(); ++pos) {
+            const Node &n = node(nodeIds_[pos]);
+            for (TensorId in : n.inputs)
+                if (!g_.tensor(in).isConst)
+                    death[canonical(in)] = int(pos);
+        }
+        for (TensorId out : sg_.outputs)
+            death[canonical(out)] = int(nodeIds_.size());
+
+        auto place = [&](TensorId c) {
+            if (baseRow_.count(c))
+                return;
+            int rows = layouts_[c].rows();
+            int base = alloc.allocate(rows);
+            fatal_if(base < 0,
+                     "data RAM exhausted placing tensor '%s' (%d rows)",
+                     g_.tensor(c).name.c_str(), rows);
+            baseRow_[c] = base;
+            layouts_[c].baseRow = base;
+            if (getenv("NCORE_DUMP_ALLOC"))
+                std::fprintf(stderr, "alloc %-14s rows [%d, %d)\n",
+                             g_.tensor(c).name.c_str(), base,
+                             base + rows);
+        };
+
+        for (TensorId in : sg_.inputs)
+            place(canonical(in));
+
+        for (size_t pos = 0; pos < nodeIds_.size(); ++pos) {
+            const Node &n = node(nodeIds_[pos]);
+            for (TensorId out : n.outputs)
+                place(canonical(out));
+            // Release dead tensors.
+            for (TensorId in : n.inputs) {
+                if (g_.tensor(in).isConst)
+                    continue;
+                TensorId c = canonical(in);
+                auto it = death.find(c);
+                if (it != death.end() && it->second == int(pos) &&
+                    baseRow_.count(c)) {
+                    alloc.release(baseRow_[c], layouts_[c].rows());
+                    baseRow_.erase(c);
+                }
+            }
+        }
+        sg_.dataRowsUsed = alloc.peak() + kMaskRows;
+
+        for (auto &kv : layouts_)
+            sg_.layouts[kv.first] = kv.second;
+        // Alias entries resolve to their canonical layout.
+        for (auto &kv : aliasOf_)
+            sg_.layouts[kv.first] = layouts_[canonical(kv.first)];
+    }
+
+    void
+    planWeights()
+    {
+        // Per weighted node: packed image.
+        struct Image
+        {
+            int nodeId;
+            std::vector<uint8_t> bytes;
+        };
+        std::vector<Image> images;
+        bool needs_maxpool_row = false;
+
+        for (int id : nodeIds_) {
+            const Node &n = node(id);
+            if (n.kind == OpKind::MaxPool2D)
+                needs_maxpool_row = true;
+            if (!hasWeights(n.kind))
+                continue;
+            const GirTensor &w = g_.tensor(n.inputs[1]);
+            const Tensor *bias = n.inputs.size() > 2
+                                     ? &g_.tensor(n.inputs[2]).value
+                                     : nullptr;
+            Image img;
+            img.nodeId = id;
+            uint8_t wz = uint8_t(w.quant.zeroPoint);
+            bool stem =
+                n.kind == OpKind::Conv2D &&
+                layouts_.at(canonical(n.inputs[0])).kind ==
+                    LayoutKind::GroupedRf;
+            if (stem) {
+                img.bytes = packStemConvWeights(w.value, bias, wz);
+            } else if (n.kind == OpKind::Conv2D) {
+                img.bytes = packConvWeights(w.value, bias, wz);
+            } else if (n.kind == OpKind::DepthwiseConv2D) {
+                img.bytes = packDepthwiseWeights(w.value, bias, wz);
+            } else if (fcAsConv(n)) {
+                // Reinterpret [Cout, Cin] as OHWI [Cout, 1, 1, Cin].
+                Tensor w4(Shape{w.shape.dim(0), 1, 1, w.shape.dim(1)},
+                          DType::UInt8, w.quant);
+                std::memcpy(w4.raw(), w.value.raw(),
+                            w.value.byteSize());
+                img.bytes = packConvWeights(w4, bias, wz);
+            } else {
+                img.bytes = packFcWeights(w.value, bias, wz);
+            }
+            images.push_back(std::move(img));
+        }
+
+        int reserved = needs_maxpool_row ? 1 : 0;
+        if (needs_maxpool_row)
+            sg_.maxPoolInitRowIdx = kWeightRamRows - 1;
+
+        int64_t total_rows = 0;
+        for (const Image &img : images)
+            total_rows += int64_t(img.bytes.size() / 4096);
+
+        if (!opts_.forceStreaming &&
+            total_rows <= kWeightRamRows - reserved) {
+            // Promote all weights to persistent on-chip buffers
+            // (the paper's MobileNet-V1 case).
+            sg_.weightsPersistent = true;
+            int base = 0;
+            for (const Image &img : images) {
+                weightBase_[img.nodeId] = base;
+                sg_.persistentWeights.insert(
+                    sg_.persistentWeights.end(), img.bytes.begin(),
+                    img.bytes.end());
+                base += int(img.bytes.size() / 4096);
+            }
+            sg_.weightRowsUsed = base + reserved;
+        } else {
+            // Stream through two ping-pong buffers.
+            sg_.weightsPersistent = false;
+            const int sbr = opts_.streamBufferRows;
+            fatal_if(2 * sbr + reserved > kWeightRamRows,
+                     "stream buffers do not fit the weight RAM");
+            uint64_t offset = 0;
+            int k = 0;
+            for (const Image &img : images) {
+                int rows = int(img.bytes.size() / 4096);
+                fatal_if(rows > sbr,
+                         "layer weight image (%d rows) exceeds the "
+                         "stream buffer (%d rows)",
+                         rows, sbr);
+                StreamChunk ch;
+                ch.dramOffset = offset;
+                ch.rows = uint32_t(rows);
+                ch.targetRow = uint32_t((k % 2) * sbr);
+                ch.queue = uint8_t(k % 2);
+                sg_.chunks.push_back(ch);
+                weightBase_[img.nodeId] = int(ch.targetRow);
+                chunkOf_[img.nodeId] = k;
+                sg_.streamImage.insert(sg_.streamImage.end(),
+                                       img.bytes.begin(),
+                                       img.bytes.end());
+                offset += uint64_t(rows) * 4096;
+                ++k;
+            }
+            sg_.weightRowsUsed = 2 * sbr + reserved;
+        }
+    }
+
+    int
+    newRqEntry(const RequantEntry &e)
+    {
+        sg_.rqTable.push_back(e);
+        fatal_if(sg_.rqTable.size() > 256, "requant table exhausted");
+        return int(sg_.rqTable.size()) - 1;
+    }
+
+    int
+    newLut(const std::array<uint8_t, 256> &lut)
+    {
+        for (auto &kv : sg_.luts)
+            if (kv.second == lut)
+                return kv.first;
+        int id = int(sg_.luts.size());
+        fatal_if(id >= 4, "activation LUT slots exhausted");
+        sg_.luts.push_back({id, lut});
+        return id;
+    }
+
+    const TensorLayout &
+    layoutOf(TensorId id) const
+    {
+        auto it = layouts_.find(canonical(id));
+        panic_if(it == layouts_.end(), "tensor %d has no layout", id);
+        return it->second;
+    }
+
+    /** Layout the node writes its output into: the repack scratch for
+     *  producers that cannot write packed rows directly. */
+    const TensorLayout &
+    outLayoutFor(int node_id, TensorId out)
+    {
+        auto it = repackTemp_.find(node_id);
+        return it != repackTemp_.end() ? it->second : layoutOf(out);
+    }
+
+    void
+    generate()
+    {
+        ProgramBuilder pb;
+        pb.event(CompiledSubgraph::kStartTag);
+
+        int weighted_seen = 0;
+        const int n_chunks = int(sg_.chunks.size());
+        if (!sg_.weightsPersistent) {
+            pb.dmaKick(0);
+            if (n_chunks > 1)
+                pb.dmaKick(1);
+        }
+
+        for (size_t pos = 0; pos < nodeIds_.size(); ++pos) {
+            int id = nodeIds_[pos];
+            const Node &n = node(id);
+
+            if (pos == 0 && bandTensor_ != kNoTensor) {
+                // Oversized input: emitted as separate band programs
+                // the runtime interleaves with host staging.
+                emitBandedConv(n, id);
+                sg_.macs += uint64_t(Graph::nodeMacs(g_, n));
+                continue;
+            }
+
+            if (opts_.emitLayerEvents)
+                pb.event(uint32_t(id) << 2 | 1);
+
+            if (hasWeights(n.kind) && !sg_.weightsPersistent) {
+                int k = chunkOf_.at(id);
+                pb.dmaFence(k % 2);
+                (void)weighted_seen;
+            }
+
+            emitNode(pb, n, id);
+
+            // Producers that stage into the repack scratch: move the
+            // rows into the packed layout now.
+            auto rit = repackTemp_.find(id);
+            if (rit != repackTemp_.end()) {
+                RepackKernel rk;
+                rk.plain = rit->second;
+                rk.packed = layoutOf(repackTensor_.at(id));
+                rk.masks = sg_.masks;
+                emitRepack(pb, rk);
+            }
+
+            if (hasWeights(n.kind) && !sg_.weightsPersistent) {
+                int k = chunkOf_.at(id);
+                if (k + 2 < n_chunks)
+                    pb.dmaKick(k + 2);
+            }
+
+            if (opts_.emitLayerEvents)
+                pb.event(uint32_t(id) << 2 | 2);
+            sg_.macs += uint64_t(Graph::nodeMacs(g_, n));
+        }
+
+        pb.event(CompiledSubgraph::kEndTag);
+        pb.halt();
+        sg_.code = pb.encode();
+    }
+
+    ConvKernel
+    makeConvKernel(const Node &n, int id)
+    {
+        const GirTensor &out_t = g_.tensor(n.outputs[0]);
+        const GirTensor &in_t = g_.tensor(n.inputs[0]);
+        const GirTensor &w = g_.tensor(n.inputs[1]);
+        float m =
+            in_t.quant.scale * w.quant.scale / out_t.quant.scale;
+        ConvKernel p;
+        p.in = layoutOf(n.inputs[0]);
+        p.out = outLayoutFor(id, n.outputs[0]);
+        if (p.out.packed())
+            p.contentMaskRow = contentMaskRowFor(p.out);
+        p.kh = int(w.shape.dim(1));
+        p.kw = int(w.shape.dim(2));
+        p.strideH = n.attrs.strideH;
+        p.strideW = n.attrs.strideW;
+        p.padTop = n.attrs.padTop;
+        p.padLeft = n.attrs.padLeft;
+        p.cin = int(in_t.shape.dim(3));
+        p.cout = int(out_t.shape.dim(3));
+        p.depthwise = n.kind == OpKind::DepthwiseConv2D;
+        p.weightBase = weightBase_.at(id);
+        p.rqIndex = newRqEntry(makeRequantEntry(
+            m, out_t.quant, DType::UInt8, n.attrs.fusedAct));
+        p.dataZero = uint8_t(in_t.quant.zeroPoint);
+        p.weightZero = uint8_t(w.quant.zeroPoint);
+        p.masks = sg_.masks;
+        return p;
+    }
+
+    /** Emit the banded stem-conv programs (one per input band). */
+    void
+    emitBandedConv(const Node &n, int id)
+    {
+        fatal_if(!sg_.weightsPersistent,
+                 "banded staging with streamed weights unsupported");
+        InputBandPlan plan;
+        plan.tensor = bandTensor_;
+
+        ConvKernel proto = makeConvKernel(n, id);
+        const int h_o = proto.out.h;
+        const int nbands = (h_o + bandOut_ - 1) / bandOut_;
+        const TensorLayout &full = layoutOf(bandTensor_);
+
+        for (int b = 0; b < nbands; ++b) {
+            int yo0 = b * bandOut_;
+            int yo1 = std::min(h_o, yo0 + bandOut_);
+            int start = yo0 * proto.strideH + full.padTop -
+                        proto.padTop;
+            start = std::clamp(start, 0, full.paddedH() - bandH_);
+
+            TensorLayout band = full;
+            band.bandStart = start;
+            band.bandH = bandH_;
+
+            ProgramBuilder bpb;
+            if (opts_.emitLayerEvents)
+                bpb.event(uint32_t(id) << 2 | (b == 0 ? 1 : 3));
+            ConvKernel p = proto;
+            p.in = band;
+            p.yoBegin = yo0;
+            p.yoEnd = yo1;
+            emitConv(bpb, p);
+            if (opts_.emitLayerEvents && b == nbands - 1)
+                bpb.event(uint32_t(id) << 2 | 2);
+            bpb.halt();
+
+            plan.bandLayouts.push_back(band);
+            plan.bandCode.push_back(bpb.encode());
+        }
+        sg_.inputBands.push_back(std::move(plan));
+    }
+
+    void
+    emitNode(ProgramBuilder &pb, const Node &n, int id)
+    {
+        const GirTensor &out_t = g_.tensor(n.outputs[0]);
+        const GirTensor &in_t = g_.tensor(n.inputs[0]);
+
+        switch (n.kind) {
+          case OpKind::Conv2D:
+          case OpKind::DepthwiseConv2D:
+            emitConv(pb, makeConvKernel(n, id));
+            break;
+          case OpKind::FullyConnected: {
+            const GirTensor &w = g_.tensor(n.inputs[1]);
+            float m = in_t.quant.scale * w.quant.scale /
+                      out_t.quant.scale;
+            if (fcAsConv(n)) {
+                ConvKernel p;
+                p.in = layoutOf(n.inputs[0]);
+                p.out = layoutOf(n.outputs[0]);
+                p.kh = p.kw = 1;
+                p.cin = int(w.shape.dim(1));
+                p.cout = int(w.shape.dim(0));
+                p.weightBase = weightBase_.at(id);
+                p.rqIndex = newRqEntry(makeRequantEntry(
+                    m, out_t.quant, DType::UInt8, n.attrs.fusedAct));
+                p.dataZero = uint8_t(in_t.quant.zeroPoint);
+                p.weightZero = uint8_t(w.quant.zeroPoint);
+                p.masks = sg_.masks;
+                emitConv(pb, p);
+                break;
+            }
+            FcKernel p;
+            p.in = layoutOf(n.inputs[0]);
+            p.out = layoutOf(n.outputs[0]);
+            p.cin = int(w.shape.dim(1));
+            p.cout = int(w.shape.dim(0));
+            p.weightBase = weightBase_.at(id);
+            p.rqIndex = newRqEntry(makeRequantEntry(
+                m, out_t.quant, DType::UInt8, n.attrs.fusedAct));
+            p.dataZero = uint8_t(in_t.quant.zeroPoint);
+            p.weightZero = uint8_t(w.quant.zeroPoint);
+            emitFullyConnected(pb, p);
+            break;
+          }
+          case OpKind::Add: {
+            const GirTensor &b_t = g_.tensor(n.inputs[1]);
+            AddQuantPlan plan =
+                makeAddPlan(in_t.quant, b_t.quant, out_t.quant,
+                            DType::UInt8, n.attrs.fusedAct);
+            AddKernel p;
+            p.a = layoutOf(n.inputs[0]);
+            p.b = layoutOf(n.inputs[1]);
+            p.out = layoutOf(n.outputs[0]);
+            p.ka = plan.ka;
+            p.kb = plan.kb;
+            p.zeroA = uint8_t(in_t.quant.zeroPoint);
+            p.zeroB = uint8_t(b_t.quant.zeroPoint);
+            p.rqIndex = newRqEntry(plan.entry);
+            emitAdd(pb, p);
+            break;
+          }
+          case OpKind::MaxPool2D:
+          case OpKind::AvgPool2D: {
+            bool is_max = n.kind == OpKind::MaxPool2D;
+            RequantEntry e;
+            if (is_max) {
+                // Max reduces raw codes; the identity requant passes
+                // them through (in/out quantization are equal).
+                e.rq = computeRequant(1.0f, 0);
+            } else {
+                float m = in_t.quant.scale /
+                          (out_t.quant.scale *
+                           float(n.attrs.kernelH * n.attrs.kernelW));
+                e.rq = computeRequant(m, out_t.quant.zeroPoint);
+            }
+            e.outType = DType::UInt8;
+            e.actMin = 0;
+            e.actMax = 255;
+            PoolKernel p;
+            p.in = layoutOf(n.inputs[0]);
+            p.out = outLayoutFor(id, n.outputs[0]);
+            if (p.out.packed())
+                p.contentMaskRow = contentMaskRowFor(p.out);
+            p.kh = n.attrs.kernelH;
+            p.kw = n.attrs.kernelW;
+            p.strideH = n.attrs.strideH;
+            p.strideW = n.attrs.strideW;
+            p.padTop = n.attrs.padTop;
+            p.padLeft = n.attrs.padLeft;
+            p.c = int(in_t.shape.dim(3));
+            p.isMax = is_max;
+            p.weightBase = sg_.maxPoolInitRowIdx;
+            p.rqIndex = newRqEntry(e);
+            p.dataZero = uint8_t(in_t.quant.zeroPoint);
+            p.masks = sg_.masks;
+            p.scratchBase = scratchBase_;
+            emitPool(pb, p);
+            break;
+          }
+          case OpKind::Sigmoid:
+          case OpKind::Tanh: {
+            ActFn fn = n.kind == OpKind::Sigmoid ? ActFn::Sigmoid
+                                                 : ActFn::Tanh;
+            RequantEntry e;
+            e.rq = computeRequant(1.0f, 0);
+            e.outType = DType::UInt8;
+            e.actMin = 0;
+            e.actMax = 255;
+            e.lutId = uint8_t(newLut(buildActLut(
+                fn, in_t.quant, out_t.quant, DType::UInt8)));
+            ActLutKernel p;
+            p.in = layoutOf(n.inputs[0]);
+            p.out = layoutOf(n.outputs[0]);
+            p.act = fn;
+            p.rqIndex = newRqEntry(e);
+            p.masks = sg_.masks;
+            emitActLut(pb, p);
+            break;
+          }
+          case OpKind::Reshape:
+            break; // Pure alias.
+          default:
+            panic("codegen for unsupported node %s",
+                  opKindName(n.kind));
+        }
+    }
+
+    const Graph &g_;
+    std::vector<int> nodeIds_;
+    CompileOptions opts_;
+    CompiledSubgraph sg_;
+
+    std::unordered_map<TensorId, TensorId> aliasOf_;
+    std::unordered_map<TensorId, Pads> pads_;
+    std::unordered_map<TensorId, TensorLayout> layouts_;
+    std::unordered_map<TensorId, int> baseRow_;
+    std::unordered_map<int, int> weightBase_;
+    std::unordered_map<int, int> chunkOf_;
+
+    TensorId bandTensor_ = kNoTensor;
+    int bandOut_ = 0;
+    int bandH_ = 0;
+    int stemNodeId_ = -1;
+    TensorId stemInput_ = kNoTensor;
+
+    std::unordered_map<int, TensorLayout> repackTemp_;
+    std::unordered_map<int, TensorId> repackTensor_;
+    std::unordered_map<uint64_t, int> contentMasks_;
+    int scratchBase_ = -1;
+};
+
+} // namespace
+
+Loadable
+compile(Graph g, const CompileOptions &opts)
+{
+    runStandardPasses(g);
+
+    Loadable ld;
+    ld.nodeAssignment.assign(g.nodes().size(), -1);
+
+    // Maximal contiguous runs of supported nodes (the builders emit
+    // nodes topologically, so contiguity tracks connectivity for our
+    // model family, as the TFLite delegate partitioning does).
+    std::vector<std::vector<int>> runs;
+    std::vector<int> current;
+    for (size_t i = 0; i < g.nodes().size(); ++i) {
+        if (ncoreSupports(g, g.nodes()[i])) {
+            current.push_back(int(i));
+        } else if (!current.empty()) {
+            runs.push_back(std::move(current));
+            current.clear();
+        }
+    }
+    if (!current.empty())
+        runs.push_back(std::move(current));
+
+    // Skip runs with no MAC work (a lone reshape is not worth a
+    // delegate round trip).
+    for (auto &run : runs) {
+        bool has_mac = false;
+        for (int id : run)
+            if (Graph::nodeMacs(g, g.nodes()[size_t(id)]) > 0 ||
+                g.nodes()[size_t(id)].kind == OpKind::MaxPool2D ||
+                g.nodes()[size_t(id)].kind == OpKind::AvgPool2D)
+                has_mac = true;
+        if (!has_mac)
+            continue;
+        SubgraphCompiler sc(g, run, opts);
+        CompiledSubgraph sg = sc.run();
+        int idx = int(ld.subgraphs.size());
+        for (int id : run)
+            ld.nodeAssignment[size_t(id)] = idx;
+        ld.subgraphs.push_back(std::move(sg));
+    }
+
+    ld.graph = std::move(g);
+    return ld;
+}
+
+} // namespace ncore

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The GCL compiler driver: optimization passes -> delegate-style
+ * partitioning -> layout selection -> scratchpad memory planning ->
+ * NKL code generation -> Loadable.
+ */
+
+#ifndef NCORE_GCL_COMPILER_H
+#define NCORE_GCL_COMPILER_H
+
+#include "gcl/loadable.h"
+
+namespace ncore {
+
+struct CompileOptions
+{
+    /// Rows per ping-pong streaming buffer when weights do not fit
+    /// on-chip (two buffers are carved from the weight RAM).
+    int streamBufferRows = 960;
+    /// Emit per-layer event-log markers (negligible cost; used for the
+    /// Table IX breakdown methodology).
+    bool emitLayerEvents = true;
+    /// Force the DMA streaming path even when weights would fit
+    /// on-chip (tests and ablation studies).
+    bool forceStreaming = false;
+    /// Row threshold above which a subgraph input is staged in
+    /// y-bands instead of being fully resident.
+    int bandingResidencyLimit = 1500;
+};
+
+/**
+ * True when the Ncore backend can execute this node (the delegate's
+ * compatibility query).
+ */
+bool ncoreSupports(const Graph &g, const Node &n);
+
+/**
+ * Compile a (quantized) graph: runs the standard passes, partitions
+ * nodes between Ncore and x86, and generates one CompiledSubgraph per
+ * maximal Ncore region.
+ */
+Loadable compile(Graph g, const CompileOptions &opts = {});
+
+} // namespace ncore
+
+#endif // NCORE_GCL_COMPILER_H

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The Ncore Loadable: "the final result is an Ncore Loadable which
+ * contains everything needed to execute the DL model on Ncore"
+ * (paper V-B) — compiled programs, requant tables, activation LUTs,
+ * weight images (persistent or DMA-streamed), tensor placements, and
+ * the x86/Ncore node assignment the delegate uses at run time.
+ */
+
+#ifndef NCORE_GCL_LOADABLE_H
+#define NCORE_GCL_LOADABLE_H
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gir/graph.h"
+#include "isa/encoding.h"
+#include "nkl/kernels.h"
+#include "nkl/layout.h"
+
+namespace ncore {
+
+/** One DMA-streamed weight chunk (one layer's weight image). */
+struct StreamChunk
+{
+    uint64_t dramOffset = 0; ///< Offset within the stream image.
+    uint32_t rows = 0;       ///< Rows to transfer.
+    uint32_t targetRow = 0;  ///< Destination weight RAM row.
+    uint8_t queue = 0;       ///< DMA completion queue (ping/pong).
+};
+
+/**
+ * Banded staging of one oversized subgraph input: the host packs and
+ * writes the input band-by-band, running the matching program segment
+ * after each band (the stem convolution of 300x300 SSD inputs).
+ */
+struct InputBandPlan
+{
+    TensorId tensor = kNoTensor;
+    std::vector<TensorLayout> bandLayouts;
+    std::vector<std::vector<EncodedInstruction>> bandCode;
+};
+
+/** A compiled Ncore-resident subgraph. */
+struct CompiledSubgraph
+{
+    /// Indices (into the optimized graph's node list) this covers.
+    std::vector<int> nodeIds;
+    /// Boundary tensors, in the order the runtime binds them.
+    std::vector<TensorId> inputs;
+    std::vector<TensorId> outputs;
+    /// Device placement of every tensor touched by the subgraph.
+    std::unordered_map<TensorId, TensorLayout> layouts;
+    MaskTable masks;
+
+    /// The full program (the runtime segments it into IRAM banks).
+    std::vector<EncodedInstruction> code;
+    /// Optional banded staging of the first (oversized) input.
+    std::vector<InputBandPlan> inputBands;
+    /// Requant table image (entry i -> table slot i).
+    std::vector<RequantEntry> rqTable;
+    /// Activation LUT slots in use.
+    std::vector<std::pair<int, std::array<uint8_t, 256>>> luts;
+    /// Extra data-RAM mask rows beyond the shared prefix table
+    /// (y-packed content masks): (row, content).
+    std::vector<std::pair<int, std::vector<uint8_t>>> extraMasks;
+
+    /// Weight handling: either one persistent image loaded at row 0
+    /// once, or a DRAM-resident stream image moved per inference.
+    bool weightsPersistent = true;
+    std::vector<uint8_t> persistentWeights;
+    std::vector<uint8_t> streamImage;
+    std::vector<StreamChunk> chunks;
+    /// Weight RAM row holding the max-pool accumulator-init constants.
+    int maxPoolInitRowIdx = -1;
+
+    /// Bookkeeping for reports.
+    uint64_t macs = 0;
+    int dataRowsUsed = 0;
+    int weightRowsUsed = 0;
+
+    /// Event-log tags: per layer, (nodeId << 2) | 1 at start, | 2 at
+    /// end; subgraph start/end use kStartTag / kEndTag.
+    static constexpr uint32_t kStartTag = 0xffff1;
+    static constexpr uint32_t kEndTag = 0xffff2;
+};
+
+/** Everything the runtime needs to execute one model. */
+struct Loadable
+{
+    Graph graph; ///< The optimized graph.
+    /// Per graph node: -1 = x86, else index into subgraphs.
+    std::vector<int> nodeAssignment;
+    std::vector<CompiledSubgraph> subgraphs;
+};
+
+} // namespace ncore
+
+#endif // NCORE_GCL_LOADABLE_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Bit-exact 128-bit encoding of Ncore instructions.
+ *
+ * Field layout (LSB first within word0, then word1):
+ *
+ *   ctrl.op:4  ctrl.reg:3  ctrl.imm:20
+ *   dataRead.enable:1  .reg:3  .postInc:1
+ *   weightRead.enable:1  .reg:3  .postInc:1
+ *   ndu0: op:4 srcA:4 srcB:4 dst:2 addrReg:3 addrInc:1 param:6
+ *   ndu1: op:4 srcA:4 srcB:4 dst:2 addrReg:3 addrInc:1 param:6
+ *   npu:  op:4 type:2 a:4 b:4 zeroOff:1 pred:2
+ *   out:  op:3 act:3 rqIndex:8 param:2
+ *   write: enable:1 weightRam:1 addrReg:3 postInc:1 src:4
+ *
+ * Total: 27 + 5 + 5 + 24 + 24 + 17 + 16 + 10 = 128 bits exactly.
+ */
+
+#ifndef NCORE_ISA_ENCODING_H
+#define NCORE_ISA_ENCODING_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace ncore {
+
+/** A 128-bit encoded instruction word. */
+struct EncodedInstruction
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool operator==(const EncodedInstruction &) const = default;
+};
+
+/** Pack an Instruction into its 128-bit form. panics on field overflow. */
+EncodedInstruction encodeInstruction(const Instruction &inst);
+
+/** Unpack a 128-bit word back into the structural form. */
+Instruction decodeInstruction(const EncodedInstruction &enc);
+
+/** Number of bits the encoding consumes; must be exactly 128. */
+constexpr int kInstructionBits = 128;
+
+} // namespace ncore
+
+#endif // NCORE_ISA_ENCODING_H

@@ -1,0 +1,38 @@
+#include "loadgen.h"
+
+namespace ncore {
+
+SingleStreamResult
+runSingleStream(const SystemUnderTest &sut, int queries,
+                double jitter_frac, uint64_t seed)
+{
+    Rng rng(seed);
+    SampleStats stats;
+    for (int q = 0; q < queries; ++q) {
+        double t = sut(q);
+        // Run-manager / OS noise: one-sided jitter.
+        t *= 1.0 + jitter_frac * rng.nextFloat();
+        stats.add(t);
+    }
+    SingleStreamResult res;
+    res.queries = queries;
+    res.mean = stats.mean();
+    res.p50 = stats.percentile(0.50);
+    res.p90 = stats.percentile(0.90);
+    res.p99 = stats.percentile(0.99);
+    return res;
+}
+
+OfflineResult
+runOffline(double steady_state_ips, int samples)
+{
+    OfflineResult res;
+    res.samples = samples;
+    res.ips = steady_state_ips;
+    res.seconds = steady_state_ips > 0
+                      ? double(samples) / steady_state_ips
+                      : 0.0;
+    return res;
+}
+
+} // namespace ncore

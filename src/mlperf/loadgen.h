@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MLPerf-Inference-v0.5-style load generation (paper VI-A): the
+ * SingleStream scenario issues one query at a time and reports the
+ * 90th-percentile latency; the Offline scenario issues the whole
+ * sample set at once and reports throughput. The system under test is
+ * a callable returning the latency of one inference; determinism of
+ * the simulator is broken up with modeled run-manager jitter (the
+ * paper notes MLPerf's run manager itself perturbs measurements).
+ */
+
+#ifndef NCORE_MLPERF_LOADGEN_H
+#define NCORE_MLPERF_LOADGEN_H
+
+#include <functional>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ncore {
+
+/** SingleStream scenario results (latencies in seconds). */
+struct SingleStreamResult
+{
+    int queries = 0;
+    double mean = 0;
+    double p50 = 0;
+    double p90 = 0; ///< The MLPerf SingleStream target metric.
+    double p99 = 0;
+};
+
+/** Offline scenario results. */
+struct OfflineResult
+{
+    int samples = 0;
+    double seconds = 0;
+    double ips = 0; ///< Inputs per second, the Offline metric.
+};
+
+/** SUT: returns the latency in seconds of one inference. */
+using SystemUnderTest = std::function<double(int query_index)>;
+
+/** Issue `queries` SingleStream queries with run-manager jitter. */
+SingleStreamResult runSingleStream(const SystemUnderTest &sut,
+                                   int queries, double jitter_frac = 0.03,
+                                   uint64_t seed = 1);
+
+/**
+ * Offline scenario over a steady-state pipeline: `ips` is supplied by
+ * the pipeline model (Ncore + multicore x86 batching); this wraps it
+ * in the scenario bookkeeping.
+ */
+OfflineResult runOffline(double steady_state_ips, int samples);
+
+} // namespace ncore
+
+#endif // NCORE_MLPERF_LOADGEN_H

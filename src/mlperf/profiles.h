@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Workload profiling for the evaluation harness: builds each benchmark
+ * model, runs one cycle-accurate inference on the simulated Ncore, and
+ * derives the per-inference component breakdown (Ncore portion, x86
+ * portion, serial overhead) that Tables VII-IX and Figs 11-14 are
+ * computed from. Results are cached on disk because a full ResNet-50
+ * simulation takes tens of seconds.
+ *
+ * CALIBRATED CONSTANTS (see DESIGN.md section 3 and EXPERIMENTS.md):
+ *  - kUnhiddenFraction: the share of the x86 work that batching cannot
+ *    hide ("other x86 overhead not accounted for in either the
+ *    TensorFlow-Lite or MLPerf frameworks", paper VI-C), one global
+ *    constant fitted to the paper's observed Offline asymptotes.
+ *  - kGnmtFrameworkSeconds: per-sentence TensorFlow overhead for GNMT
+ *    (the paper attributes its low GNMT throughput to the immature
+ *    TF-based stack and anticipates significant improvement).
+ */
+
+#ifndef NCORE_MLPERF_PROFILES_H
+#define NCORE_MLPERF_PROFILES_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mlperf/pipeline.h"
+
+namespace ncore {
+
+constexpr double kUnhiddenFraction = 0.30;
+constexpr double kGnmtFrameworkSeconds = 75e-3;
+
+/** The four MLPerf v0.5 workloads the paper submitted. */
+enum class Workload { MobileNetV1, ResNet50, SsdMobileNet, Gnmt };
+
+const char *workloadName(Workload w);
+
+/**
+ * Measure (or load from cache) the profile of one workload. Set
+ * `force` to re-simulate even with a cache hit. The cache lives in
+ * `cache_path` ("ncore_profiles.cache" in the working directory by
+ * default) so the table/figure benches share one simulation.
+ */
+WorkloadProfile measureWorkload(
+    Workload w, bool force = false,
+    const std::string &cache_path = "ncore_profiles.cache");
+
+/** All four profiles in Table V order. */
+std::vector<WorkloadProfile> measureAllWorkloads(
+    const std::string &cache_path = "ncore_profiles.cache");
+
+} // namespace ncore
+
+#endif // NCORE_MLPERF_PROFILES_H

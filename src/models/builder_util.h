@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared utilities for constructing the evaluation models with
+ * deterministic synthetic weights. Real trained weights are
+ * unobtainable for this reproduction; performance depends on shapes,
+ * datatypes and schedules — not weight values — and numerical
+ * correctness is validated against the x86 reference on the same
+ * synthetic weights (see DESIGN.md, Substitutions).
+ */
+
+#ifndef NCORE_MODELS_BUILDER_UTIL_H
+#define NCORE_MODELS_BUILDER_UTIL_H
+
+#include <string>
+
+#include "gir/graph.h"
+
+namespace ncore {
+
+/** GraphBuilder wrapper stamping out quantized layers. */
+class QuantModelBuilder
+{
+  public:
+    QuantModelBuilder(std::string name, uint64_t seed)
+        : gb_(std::move(name)), rng_(seed)
+    {}
+
+    GraphBuilder &builder() { return gb_; }
+    Graph &graph() { return gb_.graph(); }
+    Graph take() { return gb_.take(); }
+    Rng &rng() { return rng_; }
+
+    /** Standard activation quantization (uint8, zero at code ~128). */
+    static QuantParams
+    actQp(float range = 4.0f)
+    {
+        return chooseAsymmetricUint8(-range / 2, range / 2);
+    }
+
+    TensorId
+    input(const std::string &name, Shape shape, float range = 2.0f)
+    {
+        return gb_.input(name, std::move(shape), DType::UInt8,
+                         actQp(range));
+    }
+
+    /** Quantized Conv2D with synthetic uint8 weights + int32 bias. */
+    TensorId
+    conv(const std::string &name, TensorId in, int cout, int kh, int kw,
+         int stride, int pad, ActFn act, float out_range = 4.0f)
+    {
+        const GirTensor &x = gb_.graph().tensor(in);
+        QuantParams w_qp{0.02f, 128};
+        Tensor w(Shape{cout, kh, kw, x.shape.dim(3)}, DType::UInt8,
+                 w_qp);
+        w.fillRandom(rng_);
+        Tensor b(Shape{cout}, DType::Int32);
+        for (int i = 0; i < cout; ++i)
+            b.setIntAt(i, int32_t(rng_.nextRange(-2000, 2000)));
+        return gb_.conv2d(name, in, gb_.constant(name + "/w", w, w_qp),
+                          gb_.constant(name + "/b", b), stride, stride,
+                          pad, pad, pad, pad, act, actQp(out_range));
+    }
+
+    /** Quantized depthwise conv. */
+    TensorId
+    dwconv(const std::string &name, TensorId in, int k, int stride,
+           int pad, ActFn act, float out_range = 4.0f)
+    {
+        const GirTensor &x = gb_.graph().tensor(in);
+        QuantParams w_qp{0.015f, 130};
+        Tensor w(Shape{1, k, k, x.shape.dim(3)}, DType::UInt8, w_qp);
+        w.fillRandom(rng_);
+        Tensor b(Shape{x.shape.dim(3)}, DType::Int32);
+        for (int64_t i = 0; i < x.shape.dim(3); ++i)
+            b.setIntAt(i, int32_t(rng_.nextRange(-1000, 1000)));
+        return gb_.depthwiseConv2d(
+            name, in, gb_.constant(name + "/w", w, w_qp),
+            gb_.constant(name + "/b", b), stride, stride, pad, pad,
+            pad, pad, act, actQp(out_range));
+    }
+
+    /** Quantized fully connected. */
+    TensorId
+    fc(const std::string &name, TensorId in, int cout, ActFn act,
+       float out_range = 16.0f)
+    {
+        const GirTensor &x = gb_.graph().tensor(in);
+        int64_t cin = x.shape.dim(x.shape.rank() - 1);
+        QuantParams w_qp{0.01f, 126};
+        Tensor w(Shape{cout, cin}, DType::UInt8, w_qp);
+        w.fillRandom(rng_);
+        Tensor b(Shape{cout}, DType::Int32);
+        for (int i = 0; i < cout; ++i)
+            b.setIntAt(i, int32_t(rng_.nextRange(-4000, 4000)));
+        return gb_.fullyConnected(name, in,
+                                  gb_.constant(name + "/w", w, w_qp),
+                                  gb_.constant(name + "/b", b), act,
+                                  actQp(out_range));
+    }
+
+  private:
+    GraphBuilder gb_;
+    Rng rng_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_MODELS_BUILDER_UTIL_H

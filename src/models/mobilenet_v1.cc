@@ -1,0 +1,54 @@
+/**
+ * @file
+ * MobileNet-V1 1.0/224: the standard 28-layer depthwise-separable
+ * architecture (Howard et al. 2017) with TFLite-style uint8
+ * quantization. The paper notes the GCL promotes all of this model's
+ * weights (4.2M) to persistent on-chip buffers.
+ */
+
+#include "models/builder_util.h"
+#include "models/zoo.h"
+
+namespace ncore {
+
+Graph
+buildMobileNetV1(uint64_t seed)
+{
+    QuantModelBuilder b("mobilenet_v1", seed);
+    TensorId x = b.input("input", Shape{1, 224, 224, 3});
+
+    // Stem: 3x3 s2 conv to 32 channels.
+    TensorId t = b.conv("conv0", x, 32, 3, 3, 2, 1, ActFn::Relu6);
+
+    // 13 depthwise-separable blocks: (dw 3x3, pw 1x1).
+    struct Block
+    {
+        int stride;
+        int pwOut;
+    };
+    const Block blocks[13] = {
+        {1, 64},   {2, 128}, {1, 128}, {2, 256}, {1, 256},
+        {2, 512},  {1, 512}, {1, 512}, {1, 512}, {1, 512},
+        {1, 512},  {2, 1024}, {1, 1024},
+    };
+    for (int i = 0; i < 13; ++i) {
+        std::string base = "block" + std::to_string(i + 1);
+        t = b.dwconv(base + "/dw", t, 3, blocks[i].stride, 1,
+                     ActFn::Relu6);
+        t = b.conv(base + "/pw", t, blocks[i].pwOut, 1, 1, 1, 0,
+                   ActFn::Relu6);
+    }
+
+    // Head: global average pool, 1001-way classifier, softmax.
+    t = b.builder().avgPool2d("avgpool", t, 7, 7, 1, 1, 0, 0, 0, 0);
+    t = b.builder().reshape("flatten", t, Shape{1, 1024});
+    t = b.fc("fc", t, 1001, ActFn::None);
+    t = b.builder().softmax("softmax", t, 1.0f);
+    b.builder().output(t);
+
+    Graph g = b.take();
+    g.verify();
+    return g;
+}
+
+} // namespace ncore

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ResNet-50 v1.5 as in the MLPerf Inference v0.5 reference graph:
+ * bottleneck blocks with the stride in the 3x3 convolution (the "v1.5"
+ * variant), and — faithfully to the paper's observation — explicit Pad
+ * operations in front of the strided convolutions, which the GCL's
+ * pad-fusion pass folds away (paper V-B: "the ResNet-50-V1.5 reference
+ * graph provided by MLPerf for TensorFlow has four explicit pad
+ * operations").
+ */
+
+#include "models/builder_util.h"
+#include "models/zoo.h"
+
+namespace ncore {
+
+namespace {
+
+/** One bottleneck block: 1x1 -> 3x3 (stride here for v1.5) -> 1x1,
+ *  residual add, with a projection shortcut when requested. */
+TensorId
+bottleneck(QuantModelBuilder &b, const std::string &name, TensorId in,
+           int mid, int out, int stride, bool project)
+{
+    TensorId shortcut = in;
+    if (project)
+        shortcut = b.conv(name + "/proj", in, out, 1, 1, stride, 0,
+                          ActFn::None);
+
+    TensorId t = b.conv(name + "/a", in, mid, 1, 1, 1, 0, ActFn::Relu);
+    if (stride == 2) {
+        // MLPerf reference-graph style: explicit pad + VALID conv.
+        t = b.builder().pad(name + "/pad", t, 1, 1, 1, 1);
+        t = b.conv(name + "/b", t, mid, 3, 3, 2, 0, ActFn::Relu);
+    } else {
+        t = b.conv(name + "/b", t, mid, 3, 3, 1, 1, ActFn::Relu);
+    }
+    t = b.conv(name + "/c", t, out, 1, 1, 1, 0, ActFn::None);
+    return b.builder().add(name + "/add", t, shortcut, ActFn::Relu,
+                           QuantModelBuilder::actQp());
+}
+
+} // namespace
+
+Graph
+buildResNet50V15(uint64_t seed)
+{
+    QuantModelBuilder b("resnet50_v1.5", seed);
+    TensorId x = b.input("input", Shape{1, 224, 224, 3});
+
+    // Stem: explicit pad (the MLPerf graph quirk) + 7x7/2 + maxpool/2.
+    TensorId t = b.builder().pad("stem/pad", x, 3, 3, 3, 3);
+    t = b.conv("conv1", t, 64, 7, 7, 2, 0, ActFn::Relu);
+    t = b.builder().maxPool2d("pool1", t, 3, 3, 2, 2, 1, 1, 1, 1);
+
+    const int stage_blocks[4] = {3, 4, 6, 3};
+    const int stage_mid[4] = {64, 128, 256, 512};
+    for (int s = 0; s < 4; ++s) {
+        int out = stage_mid[s] * 4;
+        for (int i = 0; i < stage_blocks[s]; ++i) {
+            std::string name =
+                "stage" + std::to_string(s + 2) + "/block" +
+                std::to_string(i + 1);
+            int stride = (s > 0 && i == 0) ? 2 : 1;
+            bool project = i == 0;
+            t = bottleneck(b, name, t, stage_mid[s], out, stride,
+                           project);
+        }
+    }
+
+    t = b.builder().avgPool2d("avgpool", t, 7, 7, 1, 1, 0, 0, 0, 0);
+    t = b.builder().reshape("flatten", t, Shape{1, 2048});
+    t = b.fc("fc1001", t, 1001, ActFn::None);
+    t = b.builder().softmax("softmax", t, 1.0f);
+    b.builder().output(t);
+
+    Graph g = b.take();
+    g.verify();
+    return g;
+}
+
+} // namespace ncore

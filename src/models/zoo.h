@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Model zoo: the four MLPerf Inference v0.5 benchmark networks the
+ * paper evaluates (Table V), built with deterministic synthetic
+ * weights. GNMT lives in gnmt.h (it is a dynamic seq2seq pipeline, not
+ * a static GIR graph — the paper likewise ran it through TensorFlow
+ * rather than TFLite).
+ */
+
+#ifndef NCORE_MODELS_ZOO_H
+#define NCORE_MODELS_ZOO_H
+
+#include "gir/graph.h"
+
+namespace ncore {
+
+/** MobileNet-V1 1.0/224 (quantized): 0.57 GMACs, 4.2M weights. */
+Graph buildMobileNetV1(uint64_t seed = 1);
+
+/** ResNet-50 v1.5 (quantized): 4.1 GMACs, 26M weights. Built with the
+ *  MLPerf reference graph's explicit Pad ops (fused by the GCL). */
+Graph buildResNet50V15(uint64_t seed = 2);
+
+/** SSD-MobileNet-V1 300x300 (quantized backbone + heads, float SSD
+ *  post-processing with NMS on x86): 1.2 GMACs, 6.8M weights. */
+Graph buildSsdMobileNetV1(uint64_t seed = 3);
+
+/** Benchmark characteristics row (paper Table V). */
+struct ModelCharacteristics
+{
+    const char *model;
+    const char *type;
+    double paperGMacs;
+    double paperMWeights;
+    int paperMacsPerWeight;
+};
+
+/** The published Table V rows for comparison. */
+inline ModelCharacteristics
+mobilenetRow()
+{
+    return {"MobileNet-V1", "Image", 0.57, 4.2, 136};
+}
+
+inline ModelCharacteristics
+resnetRow()
+{
+    return {"ResNet-50-V1.5", "Image", 4.1, 26.0, 158};
+}
+
+inline ModelCharacteristics
+ssdRow()
+{
+    return {"SSD-MobileNet-V1", "Image", 1.2, 6.8, 176};
+}
+
+inline ModelCharacteristics
+gnmtRow()
+{
+    return {"GNMT", "Text", 3.9, 131.0, 30};
+}
+
+} // namespace ncore
+
+#endif // NCORE_MODELS_ZOO_H

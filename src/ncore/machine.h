@@ -1,0 +1,249 @@
+/**
+ * @file
+ * The Ncore cycle-level simulator.
+ *
+ * This is the "instruction simulator ... developed as the golden model"
+ * the paper itself describes in its design methodology (V-E), rebuilt
+ * from the published microarchitecture: a 4096-byte-wide SIMD engine of
+ * 16 slices, dual 8 MB scratchpad RAMs with full-row single-cycle access,
+ * a double-buffered instruction RAM plus ROM, the NDU/NPU/OUT execution
+ * pipeline, concurrent DMA, and the debug features (event log, perf
+ * counters, n-step breakpoints).
+ *
+ * Architectural semantics of one instruction (all within one clock):
+ *   1. ctrl slot (address-register setup, loops, DMA kick/fence, ...)
+ *   2. data/weight RAM row reads latch into DataRead/WeightRead
+ *      (16-bit lane types latch planar row pairs: row and row+1)
+ *   3. ndu0 then ndu1 execute (ndu1 sees ndu0's register writes)
+ *   4. the NPU updates the 32-bit saturating accumulators
+ *   5. the OUT unit derives OutLo/OutHi from the accumulators
+ *   6. one RAM row write-back
+ *   7. address-register post-increments, loop/rep sequencing
+ *
+ * Cost: one clock per instruction, except NPU bfloat16 ops (3 clocks)
+ * and int16 ops (4 clocks), per paper IV-D4. DMA progresses concurrently
+ * and only CtrlOp::DmaFence synchronizes with it.
+ */
+
+#ifndef NCORE_NCORE_MACHINE_H
+#define NCORE_NCORE_MACHINE_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/machine.h"
+#include "common/quant.h"
+#include "isa/encoding.h"
+#include "isa/instruction.h"
+#include "ncore/debug.h"
+#include "ncore/ram.h"
+#include "soc/dma.h"
+#include "soc/sysmem.h"
+
+namespace ncore {
+
+/** Result of Machine::run(). */
+struct RunResult
+{
+    StopReason reason = StopReason::Halted;
+    uint64_t cycles = 0; ///< Cycles consumed by this run() call.
+};
+
+/**
+ * Address register: full-row index plus byte offset, each with a step.
+ * When wrapCount > 0 the register is in circular-buffer mode: every
+ * wrapCount byte-increments the byte offset snaps back to its base and
+ * the row index advances by rowInc (paper V-B: "hardware loop counters,
+ * circular buffer addressing modes").
+ */
+struct AddrReg
+{
+    int32_t row = 0;
+    int32_t byte = 0;
+    int16_t rowInc = 0;
+    int16_t byteInc = 0;
+    uint32_t wrapCount = 0;
+    uint32_t iter = 0;
+};
+
+/** The Ncore coprocessor model. */
+class Machine : public RamRowPort
+{
+  public:
+    /// Program-counter map: two IRAM banks then the ROM.
+    static constexpr int kBankInstrs = 256;
+    static constexpr int kRomBase = 2 * kBankInstrs;
+    static constexpr int kPcSpace = 3 * kBankInstrs;
+
+    Machine(const MachineConfig &cfg, const SocConfig &soc,
+            SystemMemory *sysmem = nullptr, bool model_ecc = false);
+    ~Machine() override;
+
+    const MachineConfig &config() const { return cfg_; }
+    int rowBytesInt() const { return cfg_.rowBytes(); }
+
+    // --- Host (x86 core) interface: PCI / memory-mapped accesses -------
+
+    /** Load instructions into IRAM bank 0 or 1 at the given offset. */
+    void writeIram(int bank, const std::vector<EncodedInstruction> &code,
+                   int offset = 0);
+
+    /** Host row accesses (row-buffered; no interference modeled). */
+    void hostWriteRow(bool weight_ram, int row, const uint8_t *bytes);
+    void hostReadRow(bool weight_ram, int row, uint8_t *bytes);
+
+    /** Program one requant table entry (256 entries). */
+    void writeRequantEntry(int idx, const RequantEntry &e);
+    const RequantEntry &requantEntry(int idx) const;
+
+    /** Program one of the four 256-byte activation LUTs. */
+    void writeLut(int idx, const std::array<uint8_t, 256> &lut);
+
+    /** Begin execution at pc (IRAM bank 0 starts at 0; ROM at kRomBase). */
+    void start(int pc = 0);
+    bool running() const { return running_; }
+
+    /**
+     * Execute until Halt, a breakpoint, or the cycle budget expires.
+     * May be called repeatedly to resume.
+     */
+    RunResult run(uint64_t max_cycles = ~0ull);
+
+    /** Full reset: registers, RAMs, debug state (power-up clear). */
+    void reset();
+
+    // --- Bank streaming (double-buffered IRAM) -------------------------
+
+    /**
+     * Called when the pc crosses into an IRAM bank, with the index of the
+     * bank that just became writable. The runtime uses this to stream the
+     * next program segment (paper IV-C: "the instruction RAM
+     * double-buffering allows instruction RAM loading to not hinder
+     * Ncore's latency or throughput").
+     */
+    using BankFreeCallback = std::function<void(int freed_bank)>;
+    void setBankFreeCallback(BankFreeCallback cb) { onBankFree_ = cb; }
+
+    // --- DMA ------------------------------------------------------------
+
+    DmaEngine &dma() { return *dma_; }
+    SystemMemory &sysmem() { return *sysmem_; }
+
+    // --- Debug features (paper IV-F) ------------------------------------
+
+    EventLog &eventLog() { return eventLog_; }
+    const PerfCounters &perf() const { return perf_; }
+    void clearPerf() { perf_ = PerfCounters{}; }
+
+    /** Pause every n cycles (0 disables). */
+    void setNStep(uint64_t n) { nStep_ = n; }
+
+    /** Configure the counter-wraparound breakpoint. */
+    void
+    setWrapBreakpoint(uint32_t initial_offset, bool enabled)
+    {
+        wrapBp_.counter = initial_offset;
+        wrapBp_.enabled = enabled;
+    }
+
+    /** ECC statistics and fault injection (tests). */
+    SramBank &dataRam() { return dataRam_; }
+    SramBank &weightRam() { return weightRam_; }
+
+    /** Run the built-in ROM self-test routine; true on pass. */
+    bool selfTest();
+
+    /** Total cycles since reset. */
+    uint64_t cycles() const { return perf_.cycles; }
+
+    // --- RamRowPort (DMA side) ------------------------------------------
+
+    void dmaWriteRow(bool weight_ram, uint32_t row,
+                     const uint8_t *bytes) override;
+    void dmaReadRow(bool weight_ram, uint32_t row,
+                    uint8_t *bytes) const override;
+    uint32_t rowBytes() const override;
+
+  private:
+    using Row = std::vector<uint8_t>;
+
+    struct LoopFrame
+    {
+        int id = 0;
+        int startPc = 0;
+        uint32_t remaining = 0;
+    };
+
+    // Execution helpers.
+    uint64_t step();                     ///< Returns cycles consumed.
+    void execCtrlPre(const Instruction &in, uint64_t &extra_cycles);
+    void execBody(const Instruction &in);
+    void execNdu(const NduSlot &slot, uint32_t ctrl_imm);
+    void execNpu(const NpuSlot &npu);
+    void execOut(const OutSlot &out);
+    void execWrite(const WriteSlot &w);
+    void latchReads(const Instruction &in);
+    void bumpByte(int reg);
+    void postIncrement(const Instruction &in);
+    void advancePcWithCallback();
+    int advancePcNoCallback(int pc) const;
+
+    const uint8_t *resolveSrc(RowSrc s) const;
+    const uint8_t *resolveSrcHi(RowSrc s) const;
+    uint8_t *nduDst(int idx);
+    int32_t widenLane(const uint8_t *lo, const uint8_t *hi, int lane,
+                      LaneType t, bool zero_off, bool is_data) const;
+    float floatLane(const uint8_t *lo, const uint8_t *hi, int lane) const;
+    bool predPass(Pred p, int lane) const;
+
+    void decodeBank(int bank);
+    void loadRom();
+
+    MachineConfig cfg_;
+    SocConfig soc_;
+    int rowBytes_;
+
+    SramBank dataRam_;
+    SramBank weightRam_;
+
+    std::vector<EncodedInstruction> iram_;   ///< kPcSpace encoded slots.
+    std::vector<Instruction> decoded_;       ///< Decoded shadow.
+
+    // Row registers.
+    Row n_[4];
+    Row outLo_, outHi_;
+    Row dataLo_, dataHi_;
+    Row weightLo_, weightHi_;
+    Row immRow_;
+    Row pred_[2];
+    std::vector<int32_t> acc_;
+
+    std::array<AddrReg, 8> addr_{};
+    std::vector<LoopFrame> loopStack_;
+    uint8_t dataZeroOff_ = 0;
+    uint8_t weightZeroOff_ = 0;
+
+    std::array<RequantEntry, 256> rqTable_{};
+    std::array<std::array<uint8_t, 256>, 4> luts_{};
+
+    int pc_ = 0;
+    bool running_ = false;
+
+    std::unique_ptr<SystemMemory> ownedMem_;
+    SystemMemory *sysmem_;
+    std::unique_ptr<DmaEngine> dma_;
+
+    EventLog eventLog_;
+    PerfCounters perf_;
+    uint64_t nStep_ = 0;
+    uint64_t nStepCredit_ = 0;
+    WrapBreakpoint wrapBp_;
+    BankFreeCallback onBankFree_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_NCORE_MACHINE_H

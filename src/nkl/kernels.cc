@@ -1,0 +1,1386 @@
+#include "kernels.h"
+
+#include <algorithm>
+
+namespace ncore {
+
+namespace {
+
+// Address register roles (see kernels.h).
+constexpr int kPatchA = 0;
+constexpr int kPatchB = 1;
+constexpr int kOutReg = 2;
+constexpr int kWtB = 3;
+constexpr int kDataA = 4;
+constexpr int kWtA = 5;
+constexpr int kBias = 6; // Also data B for stride-2 second pass.
+constexpr int kMask = 7;
+
+/** Clamp an x-tile index into the stored range. */
+int
+clampTile(int t, int ntiles)
+{
+    return std::clamp(t, 0, ntiles - 1);
+}
+
+/** Requant-and-store instruction for one output row. */
+Instruction
+requantStore(int out_row, int rq_index, OutOp op = OutOp::Requant8)
+{
+    Instruction st;
+    st.ctrl.op = CtrlOp::SetAddrRow;
+    st.ctrl.reg = kOutReg;
+    st.ctrl.imm = uint32_t(out_row);
+    st.out.op = op;
+    st.out.rqIndex = uint8_t(rq_index);
+    st.write.enable = true;
+    st.write.addrReg = kOutReg;
+    st.write.src = RowSrc::OutLo;
+    return st;
+}
+
+/** AccLoadBias(Rep64) from a weight RAM row. */
+Instruction
+biasLoad(int bias_row)
+{
+    Instruction bi;
+    bi.ctrl.op = CtrlOp::SetAddrRow;
+    bi.ctrl.reg = kBias;
+    bi.ctrl.imm = uint32_t(bias_row);
+    bi.weightRead.enable = true;
+    bi.weightRead.reg = kBias;
+    bi.npu.op = NpuOp::AccLoadBias;
+    bi.npu.a = RowSrc::WeightRead;
+    bi.npu.b = RowSrc(uint8_t(BiasMode::Rep64));
+    return bi;
+}
+
+/**
+ * The single-instruction accumulation loop (paper Fig. 6): repeat
+ * `reps` times { read data row, read weight row, NDU gather/broadcast,
+ * NDU weight replicate, MAC }, with both address registers in circular
+ * mode stepping taps and rows.
+ */
+Instruction
+repMac(uint32_t reps, int data_reg, int wt_reg, NduOp data_op,
+       NduStride data_stride, Pred pred)
+{
+    Instruction mac;
+    mac.ctrl.op = CtrlOp::Rep;
+    mac.ctrl.imm = reps;
+    mac.dataRead.enable = true;
+    mac.dataRead.reg = uint8_t(data_reg);
+    mac.weightRead.enable = true;
+    mac.weightRead.reg = uint8_t(wt_reg);
+    mac.ndu0.op = data_op;
+    mac.ndu0.srcA = RowSrc::DataRead;
+    mac.ndu0.dst = 0;
+    mac.ndu0.addrReg = uint8_t(data_reg);
+    mac.ndu0.addrInc = true;
+    mac.ndu0.param = uint8_t(data_stride);
+    mac.ndu1.op = NduOp::RepWindow;
+    mac.ndu1.srcA = RowSrc::WeightRead;
+    mac.ndu1.dst = 1;
+    mac.ndu1.addrReg = uint8_t(wt_reg);
+    mac.ndu1.addrInc = true;
+    mac.ndu1.param = uint8_t(NduStride::S1);
+    mac.npu.op = NpuOp::Mac;
+    mac.npu.type = LaneType::U8;
+    mac.npu.a = RowSrc::N0;
+    mac.npu.b = RowSrc::N1;
+    mac.npu.zeroOff = true;
+    mac.npu.pred = pred;
+    return mac;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+yPackedContentMask(const TensorLayout &lay)
+{
+    std::vector<uint8_t> row(4096, 0);
+    for (int j = 1; j < 1 + lay.ny; ++j)
+        for (int x = lay.padLeft; x < lay.padLeft + lay.w; ++x)
+            std::memset(row.data() + (j * lay.pitch + x) * 64, 1, 64);
+    return row;
+}
+
+void
+emitYPackedPatch(ProgramBuilder &pb, const TensorLayout &lay,
+                 const MaskTable &masks, int content_mask_row)
+{
+    fatal_if(content_mask_row < 0, "packed patch needs a content mask");
+    const int ncb = lay.cblocks();
+    const int nb = lay.blocks();
+    const int pitch = lay.pitch;
+    const int ny = lay.ny;
+
+    pb.splat(3, lay.zeroByte); // N3 = zero-point row.
+
+    // Pass A: keep owned content, zero-point everything else.
+    pb.loadMask(kMask, content_mask_row, 0); // P0.
+    for (int b = 0; b < nb; ++b)
+    for (int cb = 0; cb < ncb; ++cb) {
+        Instruction i;
+        i.ndu0.op = NduOp::MergeMask;
+        i.ndu0.srcA = RowSrc::DataRead;
+        i.ndu0.srcB = RowSrc::N3;
+        i.ndu0.dst = 0;
+        i.ndu0.param = 0; // P0.
+        i.ctrl.op = CtrlOp::SetAddrRow;
+        i.ctrl.reg = kPatchA;
+        i.ctrl.imm = uint32_t(lay.baseRow + lay.rowOfPacked(b, cb));
+        i.dataRead.enable = true;
+        i.dataRead.reg = kPatchA;
+        i.write.enable = true;
+        i.write.addrReg = kPatchA;
+        i.write.src = RowSrc::N0;
+        pb.emit(i);
+    }
+
+    // Vertical pad slots (top/bottom padded ys) -> zero point.
+    // Prefix masks are group-granular and slot boundaries are group
+    // multiples, so one instruction stamps a single slot: N1 keeps
+    // bytes below j*pitch and zero-points above; N2 then restores
+    // everything above (j+1)*pitch.
+    auto stamp_slot = [&](int yp) {
+        int b = lay.blockOf(yp);
+        int j = lay.slotOf(yp);
+        pb.loadMask(kMask, masks.rowFor(j * pitch), 0);       // P0.
+        pb.loadMask(kMask, masks.rowFor((j + 1) * pitch), 1); // P1.
+        for (int cb = 0; cb < ncb; ++cb) {
+            Instruction i;
+            i.ctrl.op = CtrlOp::SetAddrRow;
+            i.ctrl.reg = kPatchA;
+            i.ctrl.imm =
+                uint32_t(lay.baseRow + lay.rowOfPacked(b, cb));
+            i.dataRead.enable = true;
+            i.dataRead.reg = kPatchA;
+            i.ndu0.op = NduOp::MergeMask;
+            i.ndu0.srcA = RowSrc::DataRead;
+            i.ndu0.srcB = RowSrc::N3;
+            i.ndu0.dst = 1;
+            i.ndu0.param = 0; // P0.
+            i.ndu1.op = NduOp::MergeMask;
+            i.ndu1.srcA = RowSrc::N1;
+            i.ndu1.srcB = RowSrc::DataRead;
+            i.ndu1.dst = 2;
+            i.ndu1.param = 1; // P1.
+            i.write.enable = true;
+            i.write.addrReg = kPatchA;
+            i.write.src = RowSrc::N2;
+            pb.emit(i);
+        }
+    };
+    if (lay.padTop > 0)
+        stamp_slot(0);
+    if (lay.padBottom > 0)
+        stamp_slot(lay.paddedH() - 1);
+
+    // Pass B: pre-halo slot (j = 0) from the previous block's last
+    // owned slot.
+    pb.loadMask(kMask, masks.rowFor(pitch), 0); // P0: slot 0 region.
+    pb.setByte(kPatchB, (ny * pitch * 64) % 4096);
+    for (int b = 0; b < nb; ++b)
+    for (int cb = 0; cb < ncb; ++cb) {
+        if (b > 0) {
+            Instruction i1;
+            i1.ctrl.op = CtrlOp::SetAddrRow;
+            i1.ctrl.reg = kPatchA;
+            i1.ctrl.imm =
+                uint32_t(lay.baseRow + lay.rowOfPacked(b - 1, cb));
+            i1.dataRead.enable = true;
+            i1.dataRead.reg = kPatchA;
+            i1.ndu0.op = NduOp::WindowGather;
+            i1.ndu0.srcA = RowSrc::DataRead;
+            i1.ndu0.dst = 0;
+            i1.ndu0.addrReg = kPatchB;
+            i1.ndu0.param = uint8_t(NduStride::S64);
+            pb.emit(i1);
+        }
+        Instruction i2;
+        i2.ctrl.op = CtrlOp::SetAddrRow;
+        i2.ctrl.reg = kPatchA;
+        i2.ctrl.imm = uint32_t(lay.baseRow + lay.rowOfPacked(b, cb));
+        i2.dataRead.enable = true;
+        i2.dataRead.reg = kPatchA;
+        i2.ndu0.op = NduOp::MergeMask;
+        i2.ndu0.srcA = b > 0 ? RowSrc::N0 : RowSrc::N3;
+        i2.ndu0.srcB = RowSrc::DataRead;
+        i2.ndu0.dst = 1;
+        i2.ndu0.param = 0; // P0.
+        i2.write.enable = true;
+        i2.write.addrReg = kPatchA;
+        i2.write.src = RowSrc::N1;
+        pb.emit(i2);
+    }
+
+    // Pass C: post-halo slot (j = ny + 1) from the next block's first
+    // owned slot.
+    pb.loadMask(kMask, masks.rowFor((ny + 1) * pitch), 0);
+    pb.setByte(kPatchB, ((-(ny * pitch) * 64) % 4096 + 4096) % 4096);
+    for (int b = 0; b < nb; ++b)
+    for (int cb = 0; cb < ncb; ++cb) {
+        if (b + 1 < nb) {
+            Instruction i1;
+            i1.ctrl.op = CtrlOp::SetAddrRow;
+            i1.ctrl.reg = kPatchA;
+            i1.ctrl.imm =
+                uint32_t(lay.baseRow + lay.rowOfPacked(b + 1, cb));
+            i1.dataRead.enable = true;
+            i1.dataRead.reg = kPatchA;
+            i1.ndu0.op = NduOp::WindowGather;
+            i1.ndu0.srcA = RowSrc::DataRead;
+            i1.ndu0.dst = 0;
+            i1.ndu0.addrReg = kPatchB;
+            i1.ndu0.param = uint8_t(NduStride::S64);
+            pb.emit(i1);
+        }
+        Instruction i2;
+        i2.ctrl.op = CtrlOp::SetAddrRow;
+        i2.ctrl.reg = kPatchA;
+        i2.ctrl.imm = uint32_t(lay.baseRow + lay.rowOfPacked(b, cb));
+        i2.dataRead.enable = true;
+        i2.dataRead.reg = kPatchA;
+        i2.ndu0.op = NduOp::MergeMask;
+        i2.ndu0.srcA = RowSrc::DataRead;
+        i2.ndu0.srcB = b + 1 < nb ? RowSrc::N0 : RowSrc::N3;
+        i2.ndu0.dst = 1;
+        i2.ndu0.param = 0; // P0: below boundary keep, above take halo.
+        i2.write.enable = true;
+        i2.write.addrReg = kPatchA;
+        i2.write.src = RowSrc::N1;
+        pb.emit(i2);
+    }
+}
+
+void
+emitRepack(ProgramBuilder &pb, const RepackKernel &p)
+{
+    const TensorLayout &pl = p.plain;
+    const TensorLayout &pk = p.packed;
+    fatal_if(!pk.packed() || pk.pitch != pl.paddedW(),
+             "repack needs matching geometry (pitch %d vs %d)",
+             pk.pitch, pl.paddedW());
+    fatal_if(pl.xtiles() != 1, "repack source must be single-tile");
+    const int ncb = pk.cblocks();
+    const int nb = pk.blocks();
+
+    pb.splat(3, pk.zeroByte);
+
+    for (int j = 0; j < pk.slots(); ++j) {
+        pb.loadMask(kMask, p.masks.rowFor(j * pk.pitch), 0); // P0.
+        pb.setByte(kPatchB,
+                   ((-(j * pk.pitch) * 64) % 4096 + 4096) % 4096);
+        for (int b = 0; b < nb; ++b) {
+            int yp = b * pk.ny + j - 1;
+            bool in_range = yp >= 0 && yp < pl.paddedH();
+            for (int cb = 0; cb < ncb; ++cb) {
+                if (in_range) {
+                    Instruction i1;
+                    i1.ctrl.op = CtrlOp::SetAddrRow;
+                    i1.ctrl.reg = kPatchA;
+                    i1.ctrl.imm = uint32_t(pl.baseRow +
+                                           pl.rowOf(yp, cb, 0));
+                    i1.dataRead.enable = true;
+                    i1.dataRead.reg = kPatchA;
+                    i1.ndu0.op = NduOp::WindowGather;
+                    i1.ndu0.srcA = RowSrc::DataRead;
+                    i1.ndu0.dst = 0;
+                    i1.ndu0.addrReg = kPatchB;
+                    i1.ndu0.param = uint8_t(NduStride::S64);
+                    pb.emit(i1);
+                }
+                Instruction i2;
+                i2.ctrl.op = CtrlOp::SetAddrRow;
+                i2.ctrl.reg = kOutReg;
+                i2.ctrl.imm =
+                    uint32_t(pk.baseRow + pk.rowOfPacked(b, cb));
+                i2.dataRead.enable = true;
+                i2.dataRead.reg = kOutReg;
+                i2.ndu0.op = NduOp::MergeMask;
+                i2.ndu0.srcA = RowSrc::DataRead; // Keep below j*pitch.
+                i2.ndu0.srcB = in_range ? RowSrc::N0 : RowSrc::N3;
+                i2.ndu0.dst = 1;
+                i2.ndu0.param = 0;
+                i2.write.enable = true;
+                i2.write.addrReg = kOutReg;
+                i2.write.src = RowSrc::N1;
+                pb.emit(i2);
+            }
+        }
+    }
+
+    // Zero-point the tail beyond the last slot.
+    pb.loadMask(kMask, p.masks.rowFor(pk.slots() * pk.pitch), 0);
+    for (int b = 0; b < nb; ++b)
+    for (int cb = 0; cb < ncb; ++cb) {
+        Instruction i;
+        i.ctrl.op = CtrlOp::SetAddrRow;
+        i.ctrl.reg = kOutReg;
+        i.ctrl.imm = uint32_t(pk.baseRow + pk.rowOfPacked(b, cb));
+        i.dataRead.enable = true;
+        i.dataRead.reg = kOutReg;
+        i.ndu0.op = NduOp::MergeMask;
+        i.ndu0.srcA = RowSrc::DataRead;
+        i.ndu0.srcB = RowSrc::N3;
+        i.ndu0.dst = 1;
+        i.ndu0.param = 0;
+        i.write.enable = true;
+        i.write.addrReg = kOutReg;
+        i.write.src = RowSrc::N1;
+        pb.emit(i);
+    }
+}
+
+void
+emitPadRowInit(ProgramBuilder &pb, const TensorLayout &lay)
+{
+    const int per_y = lay.cblocks() * lay.xtiles();
+    auto stamp = [&](int first_row, int count) {
+        if (count <= 0)
+            return;
+        pb.splat(0, lay.zeroByte);
+        pb.setRow(kOutReg, lay.baseRow + first_row);
+        pb.setInc(kOutReg, 1, 0);
+        Instruction wr;
+        wr.ctrl.op = CtrlOp::Rep;
+        wr.ctrl.imm = uint32_t(count);
+        wr.write.enable = true;
+        wr.write.addrReg = kOutReg;
+        wr.write.postInc = true;
+        wr.write.src = RowSrc::N0;
+        pb.emit(wr);
+    };
+    stamp(0, lay.padTop * per_y);
+    stamp((lay.padTop + lay.h) * per_y, lay.padBottom * per_y);
+}
+
+void
+emitEdgePatch(ProgramBuilder &pb, const TensorLayout &lay,
+              const MaskTable &masks)
+{
+    const int ncb = lay.cblocks();
+    const int nt = lay.xtiles();
+    // Lanes at padded coords >= padLeft + w are padding: they hold
+    // compute garbage after a conv pass and must be re-stamped with the
+    // zero point (consumers rely on pad lanes contributing zero).
+    const int data_end = lay.padLeft + lay.w;
+
+    pb.splat(3, lay.zeroByte);      // N3 = zero-point row.
+    pb.setByte(kPatchB, 512);       // Gather offset mapping g -> g-56.
+
+    for (int t = 0; t < nt; ++t) {
+        int ve = std::clamp(data_end - t * kOwnW, 0, kRowPos);
+        int vo = std::min(ve, kOwnW); // Owned valid extent.
+        bool has_next = t + 1 < nt && ve > kOwnW;
+
+        pb.loadMask(kMask, masks.rowFor(std::max(vo, 1)), 1); // P1.
+        if (has_next)
+            pb.loadMask(kMask, masks.rowFor(std::max(ve, 1)), 0); // P0.
+
+        for (int yp = lay.padTop; yp < lay.padTop + lay.h; ++yp)
+        for (int cb = 0; cb < ncb; ++cb) {
+            int row_cur = lay.baseRow + lay.rowOf(yp, cb, t);
+
+            if (has_next) {
+                // i1: N0 = next tile's row shifted so its group 0
+                // lands in group 56.
+                Instruction i1;
+                i1.ctrl.op = CtrlOp::SetAddrRow;
+                i1.ctrl.reg = kPatchA;
+                i1.ctrl.imm = uint32_t(lay.baseRow +
+                                       lay.rowOf(yp, cb, t + 1));
+                i1.dataRead.enable = true;
+                i1.dataRead.reg = kPatchA;
+                i1.ndu0.op = NduOp::WindowGather;
+                i1.ndu0.srcA = RowSrc::DataRead;
+                i1.ndu0.dst = 0;
+                i1.ndu0.addrReg = kPatchB;
+                i1.ndu0.param = uint8_t(NduStride::S64);
+                pb.emit(i1);
+
+                // i2: owned lanes from current, halo from N0 within
+                // the valid extent, zero point beyond it.
+                Instruction i2;
+                i2.ctrl.op = CtrlOp::SetAddrRow;
+                i2.ctrl.reg = kPatchA;
+                i2.ctrl.imm = uint32_t(row_cur);
+                i2.dataRead.enable = true;
+                i2.dataRead.reg = kPatchA;
+                i2.ndu0.op = NduOp::MergeMask;
+                i2.ndu0.srcA = RowSrc::DataRead;
+                i2.ndu0.srcB = RowSrc::N0;
+                i2.ndu0.dst = 1;
+                i2.ndu0.param = 1; // Select by P1 (owned prefix).
+                i2.ndu1.op = NduOp::MergeMask;
+                i2.ndu1.srcA = RowSrc::N1;
+                i2.ndu1.srcB = RowSrc::N3;
+                i2.ndu1.dst = 2;
+                i2.ndu1.param = 0; // Select by P0 (valid prefix).
+                i2.write.enable = true;
+                i2.write.addrReg = kPatchA;
+                i2.write.src = RowSrc::N2;
+                pb.emit(i2);
+            } else {
+                // Last tile: valid prefix from current row, rest zp.
+                Instruction i2;
+                i2.ctrl.op = CtrlOp::SetAddrRow;
+                i2.ctrl.reg = kPatchA;
+                i2.ctrl.imm = uint32_t(row_cur);
+                i2.dataRead.enable = true;
+                i2.dataRead.reg = kPatchA;
+                i2.ndu0.op = NduOp::MergeMask;
+                i2.ndu0.srcA = RowSrc::DataRead;
+                i2.ndu0.srcB = RowSrc::N3;
+                i2.ndu0.dst = 2;
+                i2.ndu0.param = 1; // Select by P1.
+                i2.write.enable = true;
+                i2.write.addrReg = kPatchA;
+                i2.write.src = RowSrc::N2;
+                pb.emit(i2);
+            }
+        }
+    }
+
+    // Left-pad lanes of tile 0 (padded coords < padLeft) also hold
+    // compute garbage; stamp them with the zero point.
+    if (lay.padLeft > 0) {
+        pb.loadMask(kMask, masks.rowFor(lay.padLeft), 0); // P0 prefix.
+        for (int yp = lay.padTop; yp < lay.padTop + lay.h; ++yp)
+        for (int cb = 0; cb < ncb; ++cb) {
+            Instruction i3;
+            i3.ctrl.op = CtrlOp::SetAddrRow;
+            i3.ctrl.reg = kPatchA;
+            i3.ctrl.imm = uint32_t(lay.baseRow + lay.rowOf(yp, cb, 0));
+            i3.dataRead.enable = true;
+            i3.dataRead.reg = kPatchA;
+            i3.ndu0.op = NduOp::MergeMask;
+            i3.ndu0.srcA = RowSrc::N3;       // zp where P0 (left pad).
+            i3.ndu0.srcB = RowSrc::DataRead;
+            i3.ndu0.dst = 0;
+            i3.ndu0.param = 0; // P0, not inverted.
+            i3.write.enable = true;
+            i3.write.addrReg = kPatchA;
+            i3.write.src = RowSrc::N0;
+            pb.emit(i3);
+        }
+    }
+}
+
+namespace {
+
+/**
+ * Stem convolution over a GroupedRf input: each group already holds
+ * its output position's receptive-field row (strides folded into the
+ * packing), so the whole accumulation is one dense Rep over
+ * kh * kw * cin taps — single pass, any stride.
+ */
+void
+emitStemConv(ProgramBuilder &pb, const ConvKernel &p)
+{
+    const TensorLayout &li = p.in;
+    const TensorLayout &lo = p.out;
+    const int nt = li.xtiles();
+    const int nkb = (p.cout + kCBlock - 1) / kCBlock;
+    fatal_if(p.kw * p.cin > 64, "stem receptive field exceeds 64B");
+    fatal_if(nt != lo.xtiles(), "stem tile mismatch");
+
+    pb.setZeroOff(p.dataZero, p.weightZero);
+    pb.setInc(kDataA, nt, 1);
+    pb.setWrap(kDataA, p.kw * p.cin);
+    pb.setInc(kWtA, 1, 64);
+    pb.setWrap(kWtA, 64);
+
+    const int yo_begin = p.yoBegin;
+    const int yo_end = p.yoEnd < 0 ? lo.h : p.yoEnd;
+    if (yo_begin == 0)
+        emitPadRowInit(pb, lo);
+
+    const uint32_t reps = uint32_t(p.kh * p.kw * p.cin);
+    const int tap_rows = (p.kh * p.kw * p.cin + 63) / 64;
+
+    for (int t = 0; t < nt; ++t)
+    for (int kb = 0; kb < nkb; ++kb) {
+        const int bias_row = p.weightBase + kb;
+        const int tap_base = p.weightBase + nkb + kb * tap_rows;
+        for (int yo = yo_begin; yo < yo_end; ++yo) {
+            int yi_p = yo * p.strideH; // li.padTop == conv padTop.
+            panic_if(yi_p < li.bandStart ||
+                         yi_p + p.kh > li.bandStart + li.storedH(),
+                     "stem input row out of materialized range");
+            pb.setRow(kDataA, li.baseRow + li.rowOf(yi_p, 0, t));
+            pb.setByte(kDataA, 0);
+            pb.setRow(kWtA, tap_base);
+            pb.setByte(kWtA, 0);
+            pb.emit(biasLoad(bias_row));
+            pb.emit(repMac(reps, kDataA, kWtA, NduOp::GroupBcast,
+                           NduStride::S64, Pred::None));
+            pb.emit(requantStore(
+                lo.baseRow + lo.rowOf(yo + lo.padTop, kb, t),
+                p.rqIndex));
+        }
+    }
+
+    if (yo_end == lo.h)
+        emitEdgePatch(pb, lo, p.masks);
+}
+
+/**
+ * Convolution with a y-packed input and y-packed output (stride 1,
+ * kh <= 3, equal pitch): one accumulation covers a whole block of ny
+ * output rows; vertical taps move within the row's slots, so the tap
+ * loop is as dense as the plain kernel while touching ny fewer rows.
+ */
+void
+emitConvPackedToPacked(ProgramBuilder &pb, const ConvKernel &p)
+{
+    const TensorLayout &li = p.in;
+    const TensorLayout &lo = p.out;
+    const int ncb_in = li.cblocks();
+    const int nkb = p.depthwise ? ncb_in
+                                : (p.cout + kCBlock - 1) / kCBlock;
+    const int pitch = li.pitch;
+
+    fatal_if(p.strideW != 1 || p.strideH != 1,
+             "packed->packed kernels are stride-1");
+    fatal_if(lo.pitch != pitch || lo.ny != li.ny,
+             "packed->packed needs matching packing");
+    const int phi = li.padTop - p.padTop - lo.padTop;
+    fatal_if(1 + phi < 0 || li.ny + p.kh - 1 + phi > li.ny + 1,
+             "vertical taps escape the slot halo (phi=%d, kh=%d)", phi,
+             p.kh);
+    const int dx = li.padLeft - p.padLeft - lo.padLeft;
+    fatal_if(lo.padLeft + dx < 0 ||
+                 lo.padLeft + lo.w - 1 + p.kw - 1 + dx >= pitch,
+             "horizontal taps escape the slot (dx=%d)", dx);
+
+    pb.setZeroOff(p.dataZero, p.weightZero);
+    pb.setInc(kDataA, 1, p.depthwise ? 64 : 1);
+    pb.setWrap(kDataA, p.depthwise ? 0 : p.kw * 64);
+    pb.setInc(kWtA, 1, 64);
+    pb.setWrap(kWtA, 64);
+
+    const uint32_t reps_per_r =
+        p.depthwise ? uint32_t(p.kw) : uint32_t(ncb_in * p.kw * 64);
+    const int tap_rows_per_kb =
+        p.depthwise ? 1 : p.kh * ncb_in * p.kw;
+    const NduOp data_op =
+        p.depthwise ? NduOp::WindowGather : NduOp::GroupBcast;
+
+    for (int b = 0; b < lo.blocks(); ++b)
+    for (int kb = 0; kb < nkb; ++kb) {
+        const int bias_row = p.weightBase + kb;
+        const int tap_base = p.weightBase + nkb +
+                             kb * (p.depthwise ? 1 : tap_rows_per_kb);
+        pb.emit(biasLoad(bias_row));
+        pb.setRow(kWtA, tap_base);
+        pb.setByte(kWtA, 0);
+        for (int r = 0; r < p.kh; ++r) {
+            pb.setRow(kDataA,
+                      li.baseRow +
+                          li.rowOfPacked(b, p.depthwise ? kb : 0));
+            int base =
+                (((r + phi) * pitch + dx) * 64 % 4096 + 4096) % 4096;
+            pb.setByte(kDataA, base);
+            Instruction mac = repMac(reps_per_r, kDataA, kWtA, data_op,
+                                     NduStride::S64, Pred::None);
+            if (p.depthwise) {
+                // Weight taps continue across r within one row.
+                mac.ndu1.addrInc = true;
+            }
+            pb.emit(mac);
+        }
+        pb.emit(requantStore(lo.baseRow + lo.rowOfPacked(b, kb),
+                             p.rqIndex));
+    }
+
+    emitYPackedPatch(pb, lo, p.masks, p.contentMaskRow);
+}
+
+/**
+ * Convolution reading a y-packed input and writing a plain interleaved
+ * output (any stride; used by stride-2 stage transitions and global
+ * heads). Vertical taps pick the owning block/slot statically per r.
+ */
+void
+emitConvPackedToPlain(ProgramBuilder &pb, const ConvKernel &p)
+{
+    const TensorLayout &li = p.in;
+    const TensorLayout &lo = p.out;
+    const int ncb_in = li.cblocks();
+    const int nkb = p.depthwise ? ncb_in
+                                : (p.cout + kCBlock - 1) / kCBlock;
+    const int pitch = li.pitch;
+    fatal_if(lo.xtiles() != 1,
+             "packed input implies a single output tile");
+
+    const int dx2 =
+        li.padLeft - p.padLeft - p.strideW * lo.padLeft;
+    fatal_if(p.strideW * (lo.padLeft + lo.w - 1) + p.kw - 1 + dx2 >=
+                 pitch,
+             "horizontal taps escape the slot (dx2=%d)", dx2);
+
+    pb.setZeroOff(p.dataZero, p.weightZero);
+    pb.setInc(kDataA, 1, p.depthwise ? 64 : 1);
+    pb.setWrap(kDataA, p.depthwise ? 0 : p.kw * 64);
+    pb.setInc(kWtA, 1, 64);
+    pb.setWrap(kWtA, 64);
+
+    emitPadRowInit(pb, lo);
+
+    const uint32_t reps_per_r =
+        p.depthwise ? uint32_t(p.kw) : uint32_t(ncb_in * p.kw * 64);
+    const int tap_rows_per_kb =
+        p.depthwise ? 1 : p.kh * ncb_in * p.kw;
+    const NduOp data_op =
+        p.depthwise ? NduOp::WindowGather : NduOp::GroupBcast;
+    const NduStride gs =
+        p.strideW == 2 ? NduStride::S128 : NduStride::S64;
+
+    for (int kb = 0; kb < nkb; ++kb) {
+        const int bias_row = p.weightBase + kb;
+        const int tap_base = p.weightBase + nkb +
+                             kb * (p.depthwise ? 1 : tap_rows_per_kb);
+        for (int yo = 0; yo < lo.h; ++yo) {
+            pb.emit(biasLoad(bias_row));
+            pb.setRow(kWtA, tap_base);
+            pb.setByte(kWtA, 0);
+            for (int r = 0; r < p.kh; ++r) {
+                int yi_p = yo * p.strideH + r - p.padTop + li.padTop;
+                panic_if(yi_p < 0 || yi_p >= li.paddedH(),
+                         "packed conv input row out of range");
+                int blk = li.blockOf(yi_p);
+                int slot = li.slotOf(yi_p);
+                // Prefer the owner block; its slot is always valid.
+                pb.setRow(kDataA,
+                          li.baseRow +
+                              li.rowOfPacked(blk,
+                                             p.depthwise ? kb : 0));
+                int base =
+                    ((slot * pitch + dx2) * 64 % 4096 + 4096) % 4096;
+                pb.setByte(kDataA, base);
+                Instruction mac = repMac(reps_per_r, kDataA, kWtA,
+                                         data_op, gs, Pred::None);
+                if (p.depthwise)
+                    mac.ndu1.addrInc = true;
+                // Depthwise gathers stride by x within the slot.
+                if (p.depthwise && p.strideW == 2)
+                    mac.ndu0.param = uint8_t(NduStride::S128);
+                pb.emit(mac);
+            }
+            pb.emit(requantStore(
+                lo.baseRow + lo.rowOf(yo + lo.padTop, kb, 0),
+                p.rqIndex));
+        }
+    }
+
+    emitEdgePatch(pb, lo, p.masks);
+}
+
+} // namespace
+
+void
+emitConv(ProgramBuilder &pb, const ConvKernel &p)
+{
+    if (p.in.kind == LayoutKind::GroupedRf) {
+        emitStemConv(pb, p);
+        return;
+    }
+    if (p.in.packed() && p.out.packed()) {
+        emitConvPackedToPacked(pb, p);
+        return;
+    }
+    if (p.in.packed()) {
+        emitConvPackedToPlain(pb, p);
+        return;
+    }
+    fatal_if(p.out.packed(),
+             "plain->packed convolutions need a repack stage");
+    const TensorLayout &li = p.in;
+    const TensorLayout &lo = p.out;
+    const int ncb_in = li.cblocks();
+    const int nt_i = li.xtiles();
+    const int nt_o = lo.xtiles();
+    const int nkb = p.depthwise ? ncb_in
+                                : (p.cout + kCBlock - 1) / kCBlock;
+    const bool s2 = p.strideW == 2;
+    fatal_if(p.strideW != 1 && p.strideW != 2,
+             "conv stride %d unsupported", p.strideW);
+
+    // Horizontal shift between output lanes and input bytes. A
+    // negative delta only corrupts lanes that are the output's own
+    // padding (restored by the edge patch); the stride-2 split keeps
+    // its pass-B boundary valid down to delta = -2. Single-tile
+    // tensors additionally allow negative coordinates outright: the
+    // gather wraps into the zero-stamped row tail, which reads as
+    // convolution padding (so 56-wide layers stay one tile with no
+    // materialized x pads).
+    const int delta =
+        li.padLeft - p.padLeft - p.strideW * lo.padLeft;
+    const int data_end_i = li.padLeft + li.w;
+    if (nt_i == 1 && lo.xtiles() == 1) {
+        fatal_if(delta < data_end_i - 64,
+                 "wrapped gathers would miss the zero tail (delta=%d)",
+                 delta);
+        fatal_if((lo.padLeft + lo.w - 1) * p.strideW + p.kw - 1 +
+                         delta >
+                     63,
+                 "gathers overrun the single-tile row (delta=%d)",
+                 delta);
+        fatal_if(s2 && lo.padLeft + lo.w > 29,
+                 "single-tile stride-2 output too wide for the "
+                 "predicated split");
+    } else {
+        fatal_if(delta + p.kw - 1 > 8,
+                 "layout padding slack %d out of halo range (kw=%d)",
+                 delta, p.kw);
+        fatal_if(delta < -(s2 ? 2 : 8),
+                 "layout padding slack %d too negative for stride %d",
+                 delta, p.strideW);
+        fatal_if(-delta > p.strideW * lo.padLeft,
+                 "negative slack %d would corrupt valid output lanes",
+                 delta);
+    }
+    fatal_if(li.padTop < p.padTop, "insufficient materialized top pad");
+
+    const uint32_t reps = p.depthwise
+                              ? uint32_t(p.kh * p.kw)
+                              : uint32_t(p.kh * ncb_in * p.kw * 64);
+    const NduOp data_op =
+        p.depthwise ? NduOp::WindowGather : NduOp::GroupBcast;
+    const NduStride gs = s2 ? NduStride::S128 : NduStride::S64;
+
+    pb.setZeroOff(p.dataZero, p.weightZero);
+
+    // Data registers: +1 byte per tap, snapping every kw*64 (std) or
+    // kw (dw) taps to the next (y/cblock) row.
+    const int data_wrap = p.depthwise ? p.kw : p.kw * 64;
+    const int data_row_inc = p.depthwise ? ncb_in * nt_i : nt_i;
+    const int data_byte_inc = p.depthwise ? 64 : 1;
+    pb.setInc(kDataA, data_row_inc, data_byte_inc);
+    pb.setWrap(kDataA, data_wrap);
+    pb.setInc(kWtA, 1, 64);
+    pb.setWrap(kWtA, 64);
+    if (s2) {
+        pb.setInc(kBias, data_row_inc, data_byte_inc);
+        pb.setWrap(kBias, data_wrap);
+        pb.setInc(kWtB, 1, 64);
+        pb.setWrap(kWtB, 64);
+        pb.loadMask(kMask, p.masks.rowFor(29), 0); // P0: groups 0..28.
+    }
+
+    const int yo_begin = p.yoBegin;
+    const int yo_end = p.yoEnd < 0 ? lo.h : p.yoEnd;
+    const bool full_range = yo_begin == 0 && yo_end == lo.h;
+    if (yo_begin == 0)
+        emitPadRowInit(pb, lo);
+
+    const int tap_rows_per_kb =
+        p.depthwise ? 1 : p.kh * ncb_in * p.kw;
+
+    for (int t_o = 0; t_o < nt_o; ++t_o)
+    for (int kb = 0; kb < nkb; ++kb) {
+        const int bias_row =
+            p.weightBase + (p.depthwise ? kb : kb);
+        const int tap_base =
+            p.weightBase + nkb +
+            kb * (p.depthwise ? 1 : tap_rows_per_kb);
+
+        for (int yo = yo_begin; yo < yo_end; ++yo) {
+            // First input row of the accumulation: tap r = 0.
+            int yi_p = yo * p.strideH - p.padTop + li.padTop;
+            panic_if(yi_p < li.bandStart ||
+                         yi_p + p.kh > li.bandStart + li.storedH(),
+                     "conv input row out of materialized range");
+
+            int t_ia = clampTile(s2 ? 2 * t_o : t_o, nt_i);
+            pb.setRow(kDataA,
+                      li.baseRow + li.rowOf(yi_p, p.depthwise ? kb : 0,
+                                            t_ia));
+            pb.setByte(kDataA, ((delta * 64) % 4096 + 4096) % 4096);
+            pb.setRow(kWtA, tap_base);
+            pb.setByte(kWtA, p.depthwise ? 0 : 0);
+
+            pb.emit(biasLoad(bias_row));
+            pb.emit(repMac(reps, kDataA, kWtA, data_op, gs,
+                           s2 ? Pred::P0 : Pred::None));
+
+            if (s2) {
+                int t_ib = clampTile(2 * t_o + 1, nt_i);
+                pb.setRow(kBias,
+                          li.baseRow +
+                              li.rowOf(yi_p, p.depthwise ? kb : 0,
+                                       t_ib));
+                int base_b = ((delta - kOwnW) * 64 % 4096 + 4096) % 4096;
+                pb.setByte(kBias, base_b);
+                pb.setRow(kWtB, tap_base);
+                pb.setByte(kWtB, 0);
+                pb.emit(repMac(reps, kBias, kWtB, data_op, gs,
+                               Pred::NotP0));
+            }
+
+            pb.emit(requantStore(
+                lo.baseRow + lo.rowOf(yo + lo.padTop, kb, t_o),
+                p.rqIndex));
+        }
+    }
+
+    if (full_range || yo_end == lo.h)
+        emitEdgePatch(pb, lo, p.masks);
+}
+
+std::vector<uint8_t>
+maxPoolInitRow()
+{
+    std::vector<uint8_t> row(4096, 0);
+    for (int j = 0; j < 64; ++j) {
+        int32_t v = INT32_MIN;
+        std::memcpy(row.data() + j * 4, &v, 4);
+    }
+    return row;
+}
+
+namespace {
+
+/** Pooling from a y-packed input (plain or packed output). */
+void
+emitPoolPacked(ProgramBuilder &pb, const PoolKernel &p)
+{
+    const TensorLayout &li = p.in;
+    const TensorLayout &lo = p.out;
+    const int ncb = li.cblocks();
+    const int pitch = li.pitch;
+    const bool out_packed = lo.packed();
+
+    if (out_packed) {
+        fatal_if(p.strideW != 1 || p.kh > 3 || lo.pitch != pitch ||
+                     lo.ny != li.ny,
+                 "packed->packed pooling needs stride 1, kh<=3, "
+                 "matching packing");
+    } else {
+        fatal_if(lo.xtiles() != 1, "pool output must be single-tile");
+    }
+
+    const int phi = li.padTop - p.padTop - lo.padTop; // packed out.
+    const int dx2 = li.padLeft - p.padLeft -
+                    (out_packed ? lo.padLeft
+                                : p.strideW * lo.padLeft);
+    pb.setZeroOff(p.dataZero, 0);
+    pb.setInc(kDataA, 0, 64);
+    // Address registers keep their circular-wrap state across layers;
+    // clear it or a stale wrap snaps the gather window back mid-tap.
+    pb.setWrap(kDataA, 0);
+    if (!out_packed)
+        emitPadRowInit(pb, lo);
+
+    const NduStride gs =
+        p.strideW == 2 ? NduStride::S128 : NduStride::S64;
+
+    auto pool_op = [&](uint32_t reps, Pred pred) {
+        Instruction op;
+        op.ctrl.op = CtrlOp::Rep;
+        op.ctrl.imm = reps;
+        op.dataRead.enable = true;
+        op.dataRead.reg = kDataA;
+        op.ndu0.op = NduOp::WindowGather;
+        op.ndu0.srcA = RowSrc::DataRead;
+        op.ndu0.dst = 0;
+        op.ndu0.addrReg = kDataA;
+        op.ndu0.addrInc = true;
+        op.ndu0.param = uint8_t(gs);
+        op.npu.op = p.isMax ? NpuOp::Max : NpuOp::Add;
+        op.npu.type = LaneType::U8;
+        op.npu.a = RowSrc::N0;
+        op.npu.zeroOff = !p.isMax;
+        op.npu.pred = pred;
+        return op;
+    };
+
+    if (out_packed) {
+        for (int b = 0; b < lo.blocks(); ++b)
+        for (int cb = 0; cb < ncb; ++cb) {
+            if (p.isMax) {
+                pb.emit(biasLoad(p.weightBase));
+            } else {
+                Instruction z;
+                z.npu.op = NpuOp::AccZero;
+                pb.emit(z);
+            }
+            for (int r = 0; r < p.kh; ++r) {
+                pb.setRow(kDataA, li.baseRow + li.rowOfPacked(b, cb));
+                int base = (((r + phi) * pitch + dx2) * 64 % 4096 +
+                            4096) %
+                           4096;
+                pb.setByte(kDataA, base);
+                pb.emit(pool_op(uint32_t(p.kw), Pred::None));
+            }
+            pb.emit(requantStore(lo.baseRow + lo.rowOfPacked(b, cb),
+                                 p.rqIndex));
+        }
+        emitYPackedPatch(pb, lo, p.masks, p.contentMaskRow);
+        return;
+    }
+
+    for (int cb = 0; cb < ncb; ++cb)
+    for (int yo = 0; yo < lo.h; ++yo) {
+        if (p.isMax) {
+            pb.emit(biasLoad(p.weightBase));
+        } else {
+            Instruction z;
+            z.npu.op = NpuOp::AccZero;
+            pb.emit(z);
+        }
+        for (int r = 0; r < p.kh; ++r) {
+            int yi_p = yo * p.strideH + r - p.padTop + li.padTop;
+            panic_if(yi_p < 0 || yi_p >= li.paddedH(),
+                     "packed pool input row out of range");
+            pb.setRow(kDataA,
+                      li.baseRow +
+                          li.rowOfPacked(li.blockOf(yi_p), cb));
+            int base = ((li.slotOf(yi_p) * pitch + dx2) * 64 % 4096 +
+                        4096) %
+                       4096;
+            pb.setByte(kDataA, base);
+            pb.emit(pool_op(uint32_t(p.kw), Pred::None));
+        }
+        pb.emit(requantStore(
+            lo.baseRow + lo.rowOf(yo + lo.padTop, cb, 0), p.rqIndex));
+    }
+    emitEdgePatch(pb, lo, p.masks);
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Stage a tensor into a scratch copy whose padding and invalid lanes
+ * hold code 0 — the minimum uint8 code — so a max reduction over raw
+ * codes can never be won by padding (matching the exclude-padding
+ * semantics of the reference and of TFLite).
+ */
+void
+emitMinCodeRestamp(ProgramBuilder &pb, const TensorLayout &li,
+                   int scratch_base, const MaskTable &masks)
+{
+    const int ncb = li.cblocks();
+    const int nt = li.xtiles();
+    pb.splat(3, 0); // N3 = all-zero codes.
+
+    for (int t = 0; t < nt; ++t) {
+        int start_valid = t == 0 ? li.padLeft : 0;
+        int end_valid =
+            std::clamp(li.padLeft + li.w - t * kOwnW, 0, kRowPos);
+        pb.loadMask(kMask, masks.rowFor(start_valid), 0); // P0.
+        pb.loadMask(kMask, masks.rowFor(end_valid), 1);   // P1.
+        for (int yp = 0; yp < li.paddedH(); ++yp) {
+            bool real = yp >= li.padTop && yp < li.padTop + li.h;
+            for (int cb = 0; cb < ncb; ++cb) {
+                int dst = scratch_base + li.rowOf(yp, cb, t);
+                if (!real) {
+                    Instruction z;
+                    z.ctrl.op = CtrlOp::SetAddrRow;
+                    z.ctrl.reg = kOutReg;
+                    z.ctrl.imm = uint32_t(dst);
+                    z.write.enable = true;
+                    z.write.addrReg = kOutReg;
+                    z.write.src = RowSrc::N3;
+                    pb.emit(z);
+                    continue;
+                }
+                Instruction i1;
+                i1.ctrl.op = CtrlOp::SetAddrRow;
+                i1.ctrl.reg = kPatchA;
+                i1.ctrl.imm =
+                    uint32_t(li.baseRow + li.rowOf(yp, cb, t));
+                i1.dataRead.enable = true;
+                i1.dataRead.reg = kPatchA;
+                i1.ndu0.op = NduOp::MergeMask;
+                i1.ndu0.srcA = RowSrc::N3;       // Left pad -> 0.
+                i1.ndu0.srcB = RowSrc::DataRead;
+                i1.ndu0.dst = 1;
+                i1.ndu0.param = 0; // P0.
+                i1.ndu1.op = NduOp::MergeMask;
+                i1.ndu1.srcA = RowSrc::N1;
+                i1.ndu1.srcB = RowSrc::N3;       // Beyond valid -> 0.
+                i1.ndu1.dst = 2;
+                i1.ndu1.param = 1; // P1.
+                pb.emit(i1);
+
+                Instruction i2;
+                i2.ctrl.op = CtrlOp::SetAddrRow;
+                i2.ctrl.reg = kOutReg;
+                i2.ctrl.imm = uint32_t(dst);
+                i2.write.enable = true;
+                i2.write.addrReg = kOutReg;
+                i2.write.src = RowSrc::N2;
+                pb.emit(i2);
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+emitPool(ProgramBuilder &pb, const PoolKernel &p)
+{
+    if (p.in.packed()) {
+        fatal_if(p.isMax &&
+                     (p.padTop > 0 || p.padLeft > 0),
+                 "padded max-pools run on plain layouts");
+        emitPoolPacked(pb, p);
+        return;
+    }
+    fatal_if(p.out.packed(),
+             "plain->packed pooling needs a repack stage");
+    TensorLayout li = p.in;
+    const TensorLayout &lo = p.out;
+
+    // Padded max-pool: reduce over raw codes from the min-code-stamped
+    // scratch copy (see emitMinCodeRestamp).
+    const bool restamp =
+        p.isMax && (p.padTop > 0 || p.padLeft > 0);
+    if (restamp) {
+        fatal_if(p.scratchBase < 0,
+                 "padded max-pool needs a restamp scratch region");
+        emitMinCodeRestamp(pb, p.in, p.scratchBase, p.masks);
+        li.baseRow = p.scratchBase;
+    }
+    const int ncb = li.cblocks();
+    const int nt_i = li.xtiles();
+    const int nt_o = lo.xtiles();
+    const bool s2 = p.strideW == 2;
+
+    const int delta = li.padLeft - p.padLeft - p.strideW * lo.padLeft;
+    if (nt_i == 1 && nt_o == 1) {
+        fatal_if(delta < li.padLeft + li.w - 64 ||
+                     (lo.padLeft + lo.w - 1) * p.strideW + p.kw - 1 +
+                             delta >
+                         63,
+                 "pool gathers overrun the single-tile row");
+        fatal_if(s2 && lo.padLeft + lo.w > 29,
+                 "single-tile stride-2 pool output too wide");
+    } else {
+        fatal_if(delta + p.kw - 1 > 8,
+                 "pool layout padding slack %d out of halo range",
+                 delta);
+        fatal_if(delta < -(s2 ? 2 : 8) ||
+                     -delta > p.strideW * lo.padLeft,
+                 "pool layout padding slack %d invalid", delta);
+    }
+
+    pb.setZeroOff(p.dataZero, 0);
+    pb.setInc(kDataA, ncb * nt_i, 64);
+    pb.setWrap(kDataA, p.kw);
+    if (s2) {
+        pb.setInc(kBias, ncb * nt_i, 64);
+        pb.setWrap(kBias, p.kw);
+        pb.loadMask(kMask, p.masks.rowFor(29), 0);
+    }
+
+    emitPadRowInit(pb, lo);
+
+    const NduStride gs = s2 ? NduStride::S128 : NduStride::S64;
+
+    auto pool_pass = [&](int data_reg, Pred pred) {
+        Instruction op;
+        op.ctrl.op = CtrlOp::Rep;
+        op.ctrl.imm = uint32_t(p.kh * p.kw);
+        op.dataRead.enable = true;
+        op.dataRead.reg = uint8_t(data_reg);
+        op.ndu0.op = NduOp::WindowGather;
+        op.ndu0.srcA = RowSrc::DataRead;
+        op.ndu0.dst = 0;
+        op.ndu0.addrReg = uint8_t(data_reg);
+        op.ndu0.addrInc = true;
+        op.ndu0.param = uint8_t(gs);
+        op.npu.op = p.isMax ? NpuOp::Max : NpuOp::Add;
+        op.npu.type = LaneType::U8;
+        op.npu.a = RowSrc::N0;
+        // Max runs over raw codes (restamped pads lose); avg uses the
+        // zero-offset domain.
+        op.npu.zeroOff = !p.isMax;
+        op.npu.pred = pred;
+        return op;
+    };
+
+    for (int t_o = 0; t_o < nt_o; ++t_o)
+    for (int cb = 0; cb < ncb; ++cb)
+    for (int yo = 0; yo < lo.h; ++yo) {
+        int yi_p = yo * p.strideH - p.padTop + li.padTop;
+        panic_if(yi_p < 0 || yi_p + p.kh > li.paddedH(),
+                 "pool input row out of materialized range");
+
+        if (p.isMax) {
+            pb.emit(biasLoad(p.weightBase)); // INT32_MIN row.
+        } else {
+            Instruction z;
+            z.npu.op = NpuOp::AccZero;
+            pb.emit(z);
+        }
+
+        int t_ia = clampTile(s2 ? 2 * t_o : t_o, nt_i);
+        pb.setRow(kDataA, li.baseRow + li.rowOf(yi_p, cb, t_ia));
+        pb.setByte(kDataA, ((delta * 64) % 4096 + 4096) % 4096);
+        pb.emit(pool_pass(kDataA, s2 ? Pred::P0 : Pred::None));
+
+        if (s2) {
+            int t_ib = clampTile(2 * t_o + 1, nt_i);
+            pb.setRow(kBias, li.baseRow + li.rowOf(yi_p, cb, t_ib));
+            int base_b = ((delta - kOwnW) * 64 % 4096 + 4096) % 4096;
+            pb.setByte(kBias, base_b);
+            pb.emit(pool_pass(kBias, Pred::NotP0));
+        }
+
+        pb.emit(requantStore(
+            lo.baseRow + lo.rowOf(yo + lo.padTop, cb, t_o),
+            p.rqIndex));
+    }
+
+    emitEdgePatch(pb, lo, p.masks);
+}
+
+void
+emitAdd(ProgramBuilder &pb, const AddKernel &p)
+{
+    fatal_if(p.a.rows() != p.out.rows() || p.b.rows() != p.out.rows(),
+             "add kernel needs identical layouts");
+    fatal_if(p.ka < 1 || p.ka > 127 || p.kb < 1 || p.kb > 127,
+             "add plan coefficients out of u8 range");
+
+    pb.splat(2, uint8_t(p.ka));
+    pb.splat(3, uint8_t(p.kb));
+    pb.setRow(kDataA, p.a.baseRow);
+    pb.setInc(kDataA, 1, 0);
+    pb.setRow(kBias, p.b.baseRow);
+    pb.setInc(kBias, 1, 0);
+    pb.setRow(kOutReg, p.out.baseRow);
+    pb.setInc(kOutReg, 1, 0);
+
+    const int rows = p.out.rows();
+    for (int r = 0; r < rows; ++r) {
+        Instruction z;
+        z.npu.op = NpuOp::AccZero;
+        pb.emit(z);
+
+        Instruction ma;
+        ma.ctrl.op = CtrlOp::SetZeroOff;
+        ma.ctrl.imm = uint32_t(p.zeroA) << 8;
+        ma.dataRead.enable = true;
+        ma.dataRead.reg = kDataA;
+        ma.dataRead.postInc = true;
+        ma.npu.op = NpuOp::Mac;
+        ma.npu.type = LaneType::U8;
+        ma.npu.a = RowSrc::DataRead;
+        ma.npu.b = RowSrc::N2;
+        ma.npu.zeroOff = true;
+        pb.emit(ma);
+
+        Instruction mb = ma;
+        mb.ctrl.imm = uint32_t(p.zeroB) << 8;
+        mb.dataRead.reg = kBias;
+        mb.npu.b = RowSrc::N3;
+        pb.emit(mb);
+
+        Instruction st;
+        st.out.op = OutOp::Requant8;
+        st.out.rqIndex = uint8_t(p.rqIndex);
+        st.write.enable = true;
+        st.write.addrReg = kOutReg;
+        st.write.postInc = true;
+        st.write.src = RowSrc::OutLo;
+        pb.emit(st);
+    }
+}
+
+void
+emitActLut(ProgramBuilder &pb, const ActLutKernel &p)
+{
+    fatal_if(p.in.packed() || p.out.packed(),
+             "LUT activations run on plain interleaved layouts");
+    pb.setRow(kDataA, p.in.baseRow);
+    pb.setInc(kDataA, 1, 0);
+    pb.setRow(kOutReg, p.out.baseRow);
+    pb.setInc(kOutReg, 1, 0);
+
+    const int rows = p.out.rows();
+    for (int r = 0; r < rows; ++r) {
+        Instruction z;
+        z.npu.op = NpuOp::AccZero;
+        pb.emit(z);
+
+        Instruction add;
+        add.dataRead.enable = true;
+        add.dataRead.reg = kDataA;
+        add.dataRead.postInc = true;
+        add.npu.op = NpuOp::Add;
+        add.npu.type = LaneType::U8;
+        add.npu.a = RowSrc::DataRead;
+        pb.emit(add);
+
+        Instruction st;
+        st.out.op = OutOp::Requant8;
+        st.out.act = p.act;
+        st.out.rqIndex = uint8_t(p.rqIndex);
+        st.write.enable = true;
+        st.write.addrReg = kOutReg;
+        st.write.postInc = true;
+        st.write.src = RowSrc::OutLo;
+        pb.emit(st);
+    }
+
+    // The LUT maps the input zero point to a non-zero code, so the
+    // output's pad and halo lanes must be re-stamped.
+    if (p.out.kind == LayoutKind::Interleaved)
+        emitEdgePatch(pb, p.out, p.masks);
+}
+
+void
+emitFullyConnected(ProgramBuilder &pb, const FcKernel &p)
+{
+    pb.setZeroOff(p.dataZero, p.weightZero);
+
+    const bool interleaved = p.in.kind == LayoutKind::Interleaved;
+    const int in_wrap = interleaved ? 64 : 4096;
+    pb.setInc(kDataA, 1, 1);
+    pb.setWrap(kDataA, in_wrap);
+    pb.setInc(kWtA, 1, 0);
+
+    const int chunks = (p.cout + 4095) / 4096;
+    const int rows_per_chunk = 4 + p.cin;
+
+    for (int ch = 0; ch < chunks; ++ch) {
+        const int chunk_base = p.weightBase + ch * rows_per_chunk;
+        // Four accumulator-quarter bias loads.
+        for (int q = 0; q < 4; ++q) {
+            Instruction bi;
+            bi.ctrl.op = CtrlOp::SetAddrRow;
+            bi.ctrl.reg = kBias;
+            bi.ctrl.imm = uint32_t(chunk_base + q);
+            bi.weightRead.enable = true;
+            bi.weightRead.reg = kBias;
+            bi.npu.op = NpuOp::AccLoadBias;
+            bi.npu.a = RowSrc::WeightRead;
+            bi.npu.b = RowSrc(uint8_t(BiasMode::Quarter0) + q);
+            pb.emit(bi);
+        }
+
+        // Input vector restart; interleaved 1x1 tensors have one row
+        // per channel block, byte c%64 (paddings are zero for these).
+        pb.setRow(kDataA, p.in.baseRow);
+        pb.setByte(kDataA, 0);
+        pb.setRow(kWtA, chunk_base + 4);
+
+        Instruction mac;
+        mac.ctrl.op = CtrlOp::Rep;
+        mac.ctrl.imm = uint32_t(p.cin);
+        mac.dataRead.enable = true;
+        mac.dataRead.reg = kDataA;
+        mac.weightRead.enable = true;
+        mac.weightRead.reg = kWtA;
+        mac.weightRead.postInc = true;
+        mac.ndu0.op = NduOp::GroupBcast;
+        mac.ndu0.srcA = RowSrc::DataRead;
+        mac.ndu0.dst = 0;
+        mac.ndu0.addrReg = kDataA;
+        mac.ndu0.addrInc = true;
+        mac.ndu0.param = uint8_t(NduStride::S0);
+        mac.npu.op = NpuOp::Mac;
+        mac.npu.type = LaneType::U8;
+        mac.npu.a = RowSrc::N0;
+        mac.npu.b = RowSrc::WeightRead;
+        mac.npu.zeroOff = true;
+        pb.emit(mac);
+
+        pb.emit(requantStore(p.out.baseRow + ch, p.rqIndex));
+    }
+}
+
+void
+emitMatmulBf16(ProgramBuilder &pb, const MatmulBf16Kernel &p)
+{
+    pb.setInc(kDataA, 2, 1);
+    pb.setWrap(kDataA, 4096);
+    pb.setInc(kWtA, 2, 0);
+
+    const int chunks = (p.n + 4095) / 4096;
+    fatal_if(chunks > 1 && !(p.firstSegment && p.lastSegment),
+             "k-segmented matmuls support a single 4096-wide n chunk");
+    for (int ch = 0; ch < chunks; ++ch) {
+        if (p.firstSegment) {
+            Instruction z;
+            z.npu.op = NpuOp::AccZero;
+            pb.emit(z);
+        }
+
+        pb.setRow(kDataA,
+                  p.in.baseRow + 2 * (p.inElemOffset / 4096));
+        pb.setByte(kDataA, p.inElemOffset % 4096);
+        pb.setRow(kWtA, p.weightBase + ch * 2 * p.k);
+
+        Instruction mac;
+        mac.ctrl.op = CtrlOp::Rep;
+        mac.ctrl.imm = uint32_t(p.k);
+        mac.dataRead.enable = true;
+        mac.dataRead.reg = kDataA;
+        mac.weightRead.enable = true;
+        mac.weightRead.reg = kWtA;
+        mac.weightRead.postInc = true;
+        mac.ndu0.op = NduOp::GroupBcast;
+        mac.ndu0.srcA = RowSrc::DataRead;
+        mac.ndu0.dst = 0;
+        mac.ndu0.addrReg = kDataA;
+        mac.ndu0.param = uint8_t(NduStride::S0);
+        mac.ndu1.op = NduOp::GroupBcast;
+        mac.ndu1.srcA = RowSrc::DataReadHi;
+        mac.ndu1.dst = 1;
+        mac.ndu1.addrReg = kDataA;
+        mac.ndu1.addrInc = true; // One bump for the shared register.
+        mac.ndu1.param = uint8_t(NduStride::S0);
+        mac.npu.op = NpuOp::Mac;
+        mac.npu.type = LaneType::BF16;
+        mac.npu.a = RowSrc::N0; // Pair (N0, N1).
+        mac.npu.b = RowSrc::WeightRead;
+        pb.emit(mac);
+
+        if (!p.lastSegment)
+            continue;
+
+        if (p.biasBase >= 0) {
+            Instruction ba;
+            ba.ctrl.op = CtrlOp::SetAddrRow;
+            ba.ctrl.reg = kBias;
+            ba.ctrl.imm = uint32_t(p.biasBase + 2 * ch);
+            ba.dataRead.enable = true;
+            ba.dataRead.reg = kBias;
+            ba.npu.op = NpuOp::Add;
+            ba.npu.type = LaneType::BF16;
+            ba.npu.a = RowSrc::DataRead;
+            pb.emit(ba);
+        }
+
+        Instruction stb;
+        stb.ctrl.op = CtrlOp::SetAddrRow;
+        stb.ctrl.reg = kOutReg;
+        stb.ctrl.imm = uint32_t(p.out.baseRow + 2 * ch);
+        stb.out.op = OutOp::StoreBf16;
+        stb.out.act = p.act;
+        stb.write.enable = true;
+        stb.write.addrReg = kOutReg;
+        stb.write.src = RowSrc::OutLo;
+        pb.emit(stb);
+
+        Instruction sth;
+        sth.ctrl.op = CtrlOp::SetAddrRow;
+        sth.ctrl.reg = kOutReg;
+        sth.ctrl.imm = uint32_t(p.out.baseRow + 2 * ch + 1);
+        sth.write.enable = true;
+        sth.write.addrReg = kOutReg;
+        sth.write.src = RowSrc::OutHi;
+        pb.emit(sth);
+    }
+}
+
+} // namespace ncore

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * NKL kernel emitters. Each emit* function appends the complete Ncore
+ * program for one layer to a ProgramBuilder, given the tensor layouts
+ * (data RAM placement) and the weight-image base row (weight RAM).
+ *
+ * Kernel strategy (see DESIGN.md section 2): activations live in the
+ * interleaved layout; a convolution's entire accumulation over
+ * (ky, cblock, kx, c) runs as ONE Rep instruction per output row-tile,
+ * using circular-buffer address registers — the paper's "entire loop
+ * can be encoded in a single Ncore instruction" (Fig. 6). Stride-2
+ * kernels run two predicated passes (even/odd input tiles). After each
+ * layer an edge-patch pass rewrites the halo lanes and re-stamps
+ * padding lanes with the zero point.
+ *
+ * Address register convention inside kernels:
+ *   a0/a1: edge patch scratch;  a2: output row writes;  a3: weights B;
+ *   a4: data A gather;  a5: weights A;  a6: bias reads / data B;
+ *   a7: mask loads.
+ */
+
+#ifndef NCORE_NKL_KERNELS_H
+#define NCORE_NKL_KERNELS_H
+
+#include "nkl/layout.h"
+#include "nkl/program.h"
+
+namespace ncore {
+
+/** Data-RAM rows holding shared constant prefix masks. The GCL reserves
+ *  these; prefixMaskRow(g) content goes to row maskBase + g - 1 and the
+ *  empty (all-zero) mask to row maskBase + 64. */
+struct MaskTable
+{
+    int baseRow = 0;
+
+    /** Row holding the mask with `groups` leading groups set (0..64);
+     *  0 selects nothing. */
+    int
+    rowFor(int groups) const
+    {
+        return groups == 0 ? baseRow + 64 : baseRow + groups - 1;
+    }
+
+    static constexpr int kRows = 65;
+};
+
+/** Common per-layer parameters. */
+struct ConvKernel
+{
+    TensorLayout in;   ///< Interleaved input (baseRow set).
+    TensorLayout out;  ///< Interleaved output (baseRow set).
+    int kh = 1, kw = 1;
+    int strideH = 1, strideW = 1;
+    int padTop = 0, padLeft = 0; ///< Convolution semantics padding.
+    int cin = 0, cout = 0;
+    bool depthwise = false;
+    int weightBase = 0;  ///< Weight RAM row of the packed weight image.
+    int rqIndex = 0;     ///< Requant table entry.
+    uint8_t dataZero = 0, weightZero = 0;
+    MaskTable masks;
+    /// Output-row range (banded execution of large inputs); yoEnd < 0
+    /// means the full height. Pad-row init and the edge patch run only
+    /// when the range covers the full output.
+    int yoBegin = 0, yoEnd = -1;
+    /// Data-RAM row of the y-packed content mask (owned slots x valid
+    /// x positions); required when `out` is packed.
+    int contentMaskRow = -1;
+};
+
+void emitConv(ProgramBuilder &pb, const ConvKernel &p);
+
+/**
+ * Re-stamp a produced y-packed tensor: zero-point the non-content
+ * lanes and the vertical pad slots, then fill the pre/post halo slots
+ * from the neighboring blocks.
+ */
+void emitYPackedPatch(ProgramBuilder &pb, const TensorLayout &lay,
+                      const MaskTable &masks, int content_mask_row);
+
+/** Build the content-mask row for a y-packed layout. */
+std::vector<uint8_t> yPackedContentMask(const TensorLayout &lay);
+
+/**
+ * Repack a plain interleaved tensor into its y-packed form on-chip
+ * (used after producers that cannot write packed rows directly:
+ * stride-2 layers and layer outputs entering a packed region).
+ */
+struct RepackKernel
+{
+    TensorLayout plain;  ///< Source (pads 1, same tensor).
+    TensorLayout packed; ///< Destination y-packed layout.
+    MaskTable masks;
+};
+
+void emitRepack(ProgramBuilder &pb, const RepackKernel &p);
+
+/** Max/avg pooling over the interleaved layout. */
+struct PoolKernel
+{
+    TensorLayout in;
+    TensorLayout out;
+    int kh = 1, kw = 1;
+    int strideH = 1, strideW = 1;
+    int padTop = 0, padLeft = 0;
+    int c = 0;
+    bool isMax = true;
+    int weightBase = 0; ///< Max: one weight row of INT32_MIN (acc init).
+    int rqIndex = 0;
+    uint8_t dataZero = 0;
+    MaskTable masks;
+    int contentMaskRow = -1; ///< Required when `out` is packed.
+    /// Padded max-pools stage the input into a scratch copy whose pad
+    /// lanes hold code 0 (so padding can never win the max, matching
+    /// the exclude-padding semantics); this is the scratch base row.
+    int scratchBase = -1;
+};
+
+void emitPool(ProgramBuilder &pb, const PoolKernel &p);
+
+/** Rows of weight RAM a max-pool needs (the INT32_MIN accumulator row). */
+std::vector<uint8_t> maxPoolInitRow();
+
+/** Quantized elementwise add with rescale (residual connections). */
+struct AddKernel
+{
+    TensorLayout a, b, out; ///< Identical geometry, interleaved.
+    int32_t ka = 1, kb = 1; ///< From makeAddPlan().
+    uint8_t zeroA = 0, zeroB = 0;
+    int rqIndex = 0;
+};
+
+void emitAdd(ProgramBuilder &pb, const AddKernel &p);
+
+/** Standalone LUT activation (sigmoid/tanh) over a quantized tensor. */
+struct ActLutKernel
+{
+    TensorLayout in, out; ///< Identical geometry.
+    ActFn act = ActFn::Sigmoid;
+    int rqIndex = 0; ///< Identity-requant entry.
+    MaskTable masks; ///< For the edge patch (LUT[zp] != zp: pad
+                     ///< lanes must be re-stamped).
+};
+
+void emitActLut(ProgramBuilder &pb, const ActLutKernel &p);
+
+/** Fully connected over a flat/interleaved input vector. */
+struct FcKernel
+{
+    TensorLayout in;  ///< Interleaved (1x1 spatial) or flat vector.
+    TensorLayout out; ///< Flat vector.
+    int cin = 0, cout = 0;
+    int weightBase = 0;
+    int rqIndex = 0;
+    uint8_t dataZero = 0, weightZero = 0;
+};
+
+void emitFullyConnected(ProgramBuilder &pb, const FcKernel &p);
+
+/**
+ * bf16 vector-matrix multiply: [1,K] x [K,N] (GNMT building block).
+ * Large matrices run as k-segments streamed through the weight RAM:
+ * set firstSegment on the first (zeroes the accumulators) and
+ * lastSegment on the last (bias add + activation + store); the
+ * accumulators carry partial sums in between.
+ */
+struct MatmulBf16Kernel
+{
+    TensorLayout in;  ///< Flat wide vector (full K elements).
+    TensorLayout out; ///< Flat wide vector [N].
+    int k = 0;        ///< Rows of this segment.
+    int n = 0;
+    int inElemOffset = 0; ///< First input element of this segment.
+    int weightBase = 0;   ///< packMatmulBf16Weights image (segment).
+    int biasBase = -1;    ///< Optional flat wide bias vector rows in
+                          ///< DATA RAM (added post-matmul); -1 = none.
+    ActFn act = ActFn::None;
+    bool firstSegment = true;
+    bool lastSegment = true;
+};
+
+void emitMatmulBf16(ProgramBuilder &pb, const MatmulBf16Kernel &p);
+
+/**
+ * Edge patch pass: fix halo lanes from the neighbor tile and stamp
+ * padding/tail lanes with the zero point. Run after every layer that
+ * produces an interleaved tensor.
+ */
+void emitEdgePatch(ProgramBuilder &pb, const TensorLayout &lay,
+                   const MaskTable &masks);
+
+/** Fill a tensor's padding rows (top/bottom) with zero-point bytes. */
+void emitPadRowInit(ProgramBuilder &pb, const TensorLayout &lay);
+
+} // namespace ncore
+
+#endif // NCORE_NKL_KERNELS_H

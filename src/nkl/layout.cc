@@ -1,0 +1,498 @@
+#include "layout.h"
+
+#include <cstring>
+
+namespace ncore {
+
+namespace {
+constexpr int kRowBytes = 4096;
+}
+
+TensorLayout
+interleavedLayout(const Shape &shape, int pad_top, int pad_bottom,
+                  int pad_left, int pad_right, uint8_t zero_byte)
+{
+    fatal_if(shape.rank() != 4, "interleaved layout needs NHWC");
+    TensorLayout lay;
+    lay.kind = LayoutKind::Interleaved;
+    lay.h = int(shape.dim(1));
+    lay.w = int(shape.dim(2));
+    lay.c = int(shape.dim(3));
+    lay.padTop = pad_top;
+    lay.padBottom = pad_bottom;
+    lay.padLeft = pad_left;
+    lay.padRight = pad_right;
+    lay.zeroByte = zero_byte;
+    return lay;
+}
+
+TensorLayout
+flatLayout(int64_t elems, bool wide)
+{
+    TensorLayout lay;
+    lay.kind = LayoutKind::Flat;
+    lay.h = 1;
+    lay.w = 1;
+    lay.c = int(elems);
+    lay.wide = wide;
+    return lay;
+}
+
+void
+packInterleaved(const Tensor &t, int64_t n, const TensorLayout &lay,
+                uint8_t *dst)
+{
+    panic_if(t.dtype() != DType::UInt8 && t.dtype() != DType::Int8,
+             "packInterleaved supports 8-bit tensors");
+    const int ncb = lay.cblocks();
+    const int nt = lay.xtiles();
+    const uint8_t *src = t.raw();
+    const int64_t hw_c = int64_t(lay.w) * lay.c;
+
+    std::memset(dst, lay.zeroByte,
+                size_t(lay.rows()) * kRowBytes);
+
+    for (int yp = lay.bandStart; yp < lay.bandStart + lay.storedH();
+         ++yp) {
+        int y = yp - lay.padTop;
+        if (y < 0 || y >= lay.h)
+            continue; // Stays zero-point.
+        for (int cb = 0; cb < ncb; ++cb)
+        for (int tile = 0; tile < nt; ++tile) {
+            uint8_t *row = dst +
+                size_t(lay.rowOf(yp, cb, tile)) * kRowBytes;
+            for (int i = 0; i < kRowPos; ++i) {
+                int xp = tile * kOwnW + i;
+                int x = xp - lay.padLeft;
+                if (x < 0 || x >= lay.w)
+                    continue;
+                const uint8_t *px =
+                    src + (n * lay.h + y) * hw_c + int64_t(x) * lay.c +
+                    int64_t(cb) * kCBlock;
+                int span = std::min(kCBlock, lay.c - cb * kCBlock);
+                std::memcpy(row + i * kCBlock, px, size_t(span));
+            }
+        }
+    }
+}
+
+void
+unpackInterleaved(const uint8_t *src, const TensorLayout &lay, Tensor &t,
+                  int64_t n)
+{
+    const int ncb = lay.cblocks();
+    uint8_t *dst = t.raw();
+    const int64_t hw_c = int64_t(lay.w) * lay.c;
+
+    for (int y = 0; y < lay.h; ++y) {
+        int yp = y + lay.padTop;
+        for (int cb = 0; cb < ncb; ++cb)
+        for (int x = 0; x < lay.w; ++x) {
+            int xp = x + lay.padLeft;
+            int tile = xp / kOwnW; // Owner tile.
+            int i = xp - tile * kOwnW;
+            const uint8_t *row =
+                src + size_t(lay.rowOf(yp, cb, tile)) * kRowBytes;
+            uint8_t *px = dst + (n * lay.h + y) * hw_c +
+                          int64_t(x) * lay.c + int64_t(cb) * kCBlock;
+            int span = std::min(kCBlock, lay.c - cb * kCBlock);
+            std::memcpy(px, row + i * kCBlock, size_t(span));
+        }
+    }
+}
+
+TensorLayout
+yPackedLayout(const Shape &shape, uint8_t zero_byte)
+{
+    fatal_if(!yPackable(shape.dim(2)), "width %lld not y-packable",
+             (long long)shape.dim(2));
+    TensorLayout lay =
+        interleavedLayout(shape, 1, 1, 1, 1, zero_byte);
+    lay.pitch = int(shape.dim(2)) + 2;
+    lay.ny = 64 / lay.pitch - 2;
+    return lay;
+}
+
+void
+packYPacked(const Tensor &t, int64_t n, const TensorLayout &lay,
+            uint8_t *dst)
+{
+    panic_if(!lay.packed(), "packYPacked on unpacked layout");
+    const int ncb = lay.cblocks();
+    const uint8_t *src = t.raw();
+    const int64_t hw_c = int64_t(lay.w) * lay.c;
+
+    std::memset(dst, lay.zeroByte, size_t(lay.rows()) * kRowBytes);
+
+    for (int b = 0; b < lay.blocks(); ++b)
+    for (int cb = 0; cb < ncb; ++cb) {
+        uint8_t *row =
+            dst + size_t(lay.rowOfPacked(b, cb)) * kRowBytes;
+        for (int j = 0; j < lay.slots(); ++j) {
+            int yp = b * lay.ny + j - 1;
+            int y = yp - lay.padTop;
+            if (y < 0 || y >= lay.h)
+                continue;
+            for (int x = 0; x < lay.w; ++x) {
+                const uint8_t *px = src + (n * lay.h + y) * hw_c +
+                                    int64_t(x) * lay.c +
+                                    int64_t(cb) * kCBlock;
+                int span = std::min(kCBlock, lay.c - cb * kCBlock);
+                std::memcpy(row +
+                                (j * lay.pitch + lay.padLeft + x) * 64,
+                            px, size_t(span));
+            }
+        }
+    }
+}
+
+void
+unpackYPacked(const uint8_t *src, const TensorLayout &lay, Tensor &t,
+              int64_t n)
+{
+    panic_if(!lay.packed(), "unpackYPacked on unpacked layout");
+    const int ncb = lay.cblocks();
+    uint8_t *dst = t.raw();
+    const int64_t hw_c = int64_t(lay.w) * lay.c;
+
+    for (int y = 0; y < lay.h; ++y) {
+        int yp = y + lay.padTop;
+        int b = lay.blockOf(yp);
+        int j = lay.slotOf(yp);
+        for (int cb = 0; cb < ncb; ++cb) {
+            const uint8_t *row =
+                src + size_t(lay.rowOfPacked(b, cb)) * kRowBytes;
+            for (int x = 0; x < lay.w; ++x) {
+                uint8_t *px = dst + (n * lay.h + y) * hw_c +
+                              int64_t(x) * lay.c +
+                              int64_t(cb) * kCBlock;
+                int span = std::min(kCBlock, lay.c - cb * kCBlock);
+                std::memcpy(px,
+                            row + (j * lay.pitch + lay.padLeft + x) *
+                                      64,
+                            size_t(span));
+            }
+        }
+    }
+}
+
+void
+packGroupedRf(const Tensor &t, int64_t n, const TensorLayout &lay,
+              uint8_t *dst)
+{
+    panic_if(t.dtype() != DType::UInt8, "packGroupedRf needs uint8");
+    panic_if(lay.rfKw * lay.c > 64, "receptive-field row exceeds 64B");
+    const int nt = lay.xtiles();
+    const uint8_t *src = t.raw();
+    const int64_t hw_c = int64_t(lay.w) * lay.c;
+
+    std::memset(dst, lay.zeroByte, size_t(lay.rows()) * kRowBytes);
+
+    for (int yp = lay.bandStart; yp < lay.bandStart + lay.storedH();
+         ++yp) {
+        int y = yp - lay.padTop;
+        if (y < 0 || y >= lay.h)
+            continue;
+        for (int tile = 0; tile < nt; ++tile) {
+            uint8_t *row =
+                dst + size_t(lay.rowOf(yp, 0, tile)) * kRowBytes;
+            for (int g = 0; g < kRowPos; ++g) {
+                int out_x = tile * kOwnW + g - lay.rfOutPadL;
+                for (int dx = 0; dx < lay.rfKw; ++dx) {
+                    int x = out_x * lay.rfStride + dx - lay.padLeft;
+                    if (x < 0 || x >= lay.w)
+                        continue;
+                    const uint8_t *px = src + (n * lay.h + y) * hw_c +
+                                        int64_t(x) * lay.c;
+                    std::memcpy(row + g * 64 + dx * lay.c, px,
+                                size_t(lay.c));
+                }
+            }
+        }
+    }
+}
+
+void
+packFlat(const Tensor &t, int64_t n, const TensorLayout &lay, uint8_t *dst)
+{
+    int64_t elems = lay.c;
+    std::memset(dst, lay.zeroByte, size_t(lay.rows()) * kRowBytes);
+    if (!lay.wide) {
+        const uint8_t *src = t.raw() + n * elems;
+        std::memcpy(dst, src, size_t(elems));
+        return;
+    }
+    // 16-bit planar pairs.
+    const uint8_t *src = t.raw() + n * elems * 2;
+    for (int64_t i = 0; i < elems; ++i) {
+        int64_t pair = i / kRowBytes;
+        int64_t off = i % kRowBytes;
+        dst[(2 * pair) * kRowBytes + off] = src[2 * i];
+        dst[(2 * pair + 1) * kRowBytes + off] = src[2 * i + 1];
+    }
+}
+
+void
+unpackFlat(const uint8_t *src, const TensorLayout &lay, Tensor &t,
+           int64_t n)
+{
+    int64_t elems = lay.c;
+    if (!lay.wide) {
+        std::memcpy(t.raw() + n * elems, src, size_t(elems));
+        return;
+    }
+    uint8_t *dst = t.raw() + n * elems * 2;
+    for (int64_t i = 0; i < elems; ++i) {
+        int64_t pair = i / kRowBytes;
+        int64_t off = i % kRowBytes;
+        dst[2 * i] = src[(2 * pair) * kRowBytes + off];
+        dst[2 * i + 1] = src[(2 * pair + 1) * kRowBytes + off];
+    }
+}
+
+// ---------------------------------------------------------------------
+// Weight images
+// ---------------------------------------------------------------------
+
+int
+convWeightRows(int64_t k, int64_t kh, int64_t kw, int64_t cin)
+{
+    int64_t nkb = (k + kCBlock - 1) / kCBlock;
+    int64_t ncb = (cin + kCBlock - 1) / kCBlock;
+    return int(nkb + nkb * kh * ncb * kw);
+}
+
+std::vector<uint8_t>
+packConvWeights(const Tensor &w, const Tensor *bias, uint8_t zero_byte)
+{
+    const Shape &ws = w.shape(); // OHWI
+    const int64_t k = ws.dim(0), kh = ws.dim(1), kw = ws.dim(2),
+                  cin = ws.dim(3);
+    const int64_t nkb = (k + kCBlock - 1) / kCBlock;
+    const int64_t ncb = (cin + kCBlock - 1) / kCBlock;
+    const int64_t tap_rows_per_kb = kh * ncb * kw;
+
+    std::vector<uint8_t> img(
+        size_t(convWeightRows(k, kh, kw, cin)) * kRowBytes, zero_byte);
+
+    // Bias rows first (64 int32 in the first 256 bytes of each).
+    for (int64_t kb = 0; kb < nkb; ++kb) {
+        uint8_t *row = img.data() + size_t(kb) * kRowBytes;
+        std::memset(row, 0, kRowBytes);
+        for (int64_t j = 0; j < kCBlock && kb * kCBlock + j < k; ++j) {
+            int32_t b =
+                bias ? bias->intAt(kb * kCBlock + j) : 0;
+            std::memcpy(row + j * 4, &b, 4);
+        }
+    }
+
+    // Tap rows: per kb, taps ordered (r, cb, s, c), 64 taps per row,
+    // each tap a 64-byte block of w[kb*64 + 0..63, r, s, cb*64 + c].
+    const uint8_t *pw = w.raw();
+    for (int64_t kb = 0; kb < nkb; ++kb) {
+        uint8_t *base =
+            img.data() + size_t(nkb + kb * tap_rows_per_kb) * kRowBytes;
+        int64_t tap = 0;
+        for (int64_t r = 0; r < kh; ++r)
+        for (int64_t cb = 0; cb < ncb; ++cb)
+        for (int64_t s = 0; s < kw; ++s)
+        for (int64_t cc = 0; cc < kCBlock; ++cc, ++tap) {
+            int64_t c = cb * kCBlock + cc;
+            uint8_t *block = base + (tap / 64) * kRowBytes +
+                             (tap % 64) * 64;
+            if (c >= cin)
+                continue; // Stays zero point: contributes 0.
+            for (int64_t j = 0; j < kCBlock; ++j) {
+                int64_t ko = kb * kCBlock + j;
+                if (ko >= k)
+                    continue;
+                block[j] =
+                    pw[((ko * kh + r) * kw + s) * cin + c];
+            }
+        }
+    }
+    return img;
+}
+
+int
+stemConvWeightRows(int64_t k, int64_t kh, int64_t kw, int64_t cin)
+{
+    int64_t nkb = (k + kCBlock - 1) / kCBlock;
+    int64_t taps = kh * kw * cin;
+    return int(nkb + nkb * ((taps + 63) / 64));
+}
+
+std::vector<uint8_t>
+packStemConvWeights(const Tensor &w, const Tensor *bias,
+                    uint8_t zero_byte)
+{
+    const Shape &ws = w.shape(); // OHWI
+    const int64_t k = ws.dim(0), kh = ws.dim(1), kw = ws.dim(2),
+                  cin = ws.dim(3);
+    const int64_t nkb = (k + kCBlock - 1) / kCBlock;
+    const int64_t taps = kh * kw * cin;
+    const int64_t tap_rows = (taps + 63) / 64;
+
+    std::vector<uint8_t> img(
+        size_t(stemConvWeightRows(k, kh, kw, cin)) * kRowBytes,
+        zero_byte);
+    const uint8_t *pw = w.raw();
+
+    for (int64_t kb = 0; kb < nkb; ++kb) {
+        uint8_t *brow = img.data() + size_t(kb) * kRowBytes;
+        std::memset(brow, 0, kRowBytes);
+        for (int64_t j = 0; j < kCBlock && kb * kCBlock + j < k; ++j) {
+            int32_t b = bias ? bias->intAt(kb * kCBlock + j) : 0;
+            std::memcpy(brow + j * 4, &b, 4);
+        }
+        uint8_t *base =
+            img.data() + size_t(nkb + kb * tap_rows) * kRowBytes;
+        int64_t tap = 0;
+        for (int64_t r = 0; r < kh; ++r)
+        for (int64_t s = 0; s < kw; ++s)
+        for (int64_t c = 0; c < cin; ++c, ++tap) {
+            uint8_t *block =
+                base + (tap / 64) * kRowBytes + (tap % 64) * 64;
+            for (int64_t j = 0; j < kCBlock; ++j) {
+                int64_t ko = kb * kCBlock + j;
+                if (ko >= k)
+                    continue;
+                block[j] = pw[((ko * kh + r) * kw + s) * cin + c];
+            }
+        }
+    }
+    return img;
+}
+
+int
+depthwiseWeightRows(int64_t kh, int64_t kw, int64_t c)
+{
+    fatal_if(kh * kw > 64, "depthwise kernel %lldx%lld too large",
+             (long long)kh, (long long)kw);
+    int64_t ncb = (c + kCBlock - 1) / kCBlock;
+    return int(2 * ncb);
+}
+
+std::vector<uint8_t>
+packDepthwiseWeights(const Tensor &w, const Tensor *bias,
+                     uint8_t zero_byte)
+{
+    const Shape &ws = w.shape(); // [1, Kh, Kw, C]
+    const int64_t kh = ws.dim(1), kw = ws.dim(2), c = ws.dim(3);
+    const int64_t ncb = (c + kCBlock - 1) / kCBlock;
+
+    std::vector<uint8_t> img(size_t(depthwiseWeightRows(kh, kw, c)) *
+                                 kRowBytes,
+                             zero_byte);
+    const uint8_t *pw = w.raw();
+
+    for (int64_t cb = 0; cb < ncb; ++cb) {
+        // Bias row.
+        uint8_t *brow = img.data() + size_t(cb) * kRowBytes;
+        std::memset(brow, 0, kRowBytes);
+        for (int64_t j = 0; j < kCBlock && cb * kCBlock + j < c; ++j) {
+            int32_t b = bias ? bias->intAt(cb * kCBlock + j) : 0;
+            std::memcpy(brow + j * 4, &b, 4);
+        }
+        // Tap row: blocks ordered (r, s).
+        uint8_t *trow = img.data() + size_t(ncb + cb) * kRowBytes;
+        for (int64_t r = 0; r < kh; ++r)
+        for (int64_t s = 0; s < kw; ++s) {
+            uint8_t *block = trow + ((r * kw + s) * 64);
+            for (int64_t j = 0; j < kCBlock && cb * kCBlock + j < c;
+                 ++j)
+                block[j] = pw[(r * kw + s) * c + cb * kCBlock + j];
+        }
+    }
+    return img;
+}
+
+int
+fcWeightRows(int64_t cout, int64_t cin)
+{
+    int64_t chunks = (cout + kRowBytes - 1) / kRowBytes;
+    return int(chunks * (4 + cin));
+}
+
+std::vector<uint8_t>
+packFcWeights(const Tensor &w, const Tensor *bias, uint8_t zero_byte)
+{
+    const Shape &ws = w.shape(); // [Cout, Cin]
+    const int64_t cout = ws.dim(0), cin = ws.dim(1);
+    const int64_t chunks = (cout + kRowBytes - 1) / kRowBytes;
+
+    std::vector<uint8_t> img(size_t(fcWeightRows(cout, cin)) * kRowBytes,
+                             zero_byte);
+    const uint8_t *pw = w.raw();
+
+    for (int64_t ch = 0; ch < chunks; ++ch) {
+        uint8_t *base = img.data() + size_t(ch * (4 + cin)) * kRowBytes;
+        // Four bias rows = 4096 int32 accumulator init values.
+        std::memset(base, 0, size_t(4) * kRowBytes);
+        for (int64_t j = 0; j < kRowBytes; ++j) {
+            int64_t ko = ch * kRowBytes + j;
+            if (ko >= cout)
+                break;
+            int32_t b = bias ? bias->intAt(ko) : 0;
+            std::memcpy(base + (j / 1024) * kRowBytes + (j % 1024) * 4,
+                        &b, 4);
+        }
+        // One row per input channel: w[ch*4096 + j, c] at byte j.
+        for (int64_t c = 0; c < cin; ++c) {
+            uint8_t *row = base + size_t(4 + c) * kRowBytes;
+            for (int64_t j = 0; j < kRowBytes; ++j) {
+                int64_t ko = ch * kRowBytes + j;
+                if (ko >= cout)
+                    break;
+                row[j] = pw[ko * cin + c];
+            }
+        }
+    }
+    return img;
+}
+
+int
+matmulBf16WeightRows(int64_t k, int64_t n)
+{
+    int64_t chunks = (n + kRowBytes - 1) / kRowBytes;
+    return int(chunks * 2 * k);
+}
+
+std::vector<uint8_t>
+packMatmulBf16Weights(const Tensor &w)
+{
+    const Shape &ws = w.shape(); // [K, N] bf16
+    const int64_t k = ws.dim(0), n = ws.dim(1);
+    const int64_t chunks = (n + kRowBytes - 1) / kRowBytes;
+
+    std::vector<uint8_t> img(size_t(matmulBf16WeightRows(k, n)) *
+                                 kRowBytes,
+                             0);
+    const uint8_t *pw = w.raw();
+
+    for (int64_t ch = 0; ch < chunks; ++ch)
+    for (int64_t kk = 0; kk < k; ++kk) {
+        uint8_t *lo =
+            img.data() + size_t((ch * k + kk) * 2) * kRowBytes;
+        uint8_t *hi = lo + kRowBytes;
+        for (int64_t j = 0; j < kRowBytes; ++j) {
+            int64_t col = ch * kRowBytes + j;
+            if (col >= n)
+                break;
+            lo[j] = pw[(kk * n + col) * 2];
+            hi[j] = pw[(kk * n + col) * 2 + 1];
+        }
+    }
+    return img;
+}
+
+std::vector<uint8_t>
+prefixMaskRow(int groups)
+{
+    std::vector<uint8_t> row(kRowBytes, 0);
+    int bytes = std::min(groups * 64, kRowBytes);
+    std::memset(row.data(), 1, size_t(std::max(bytes, 0)));
+    return row;
+}
+
+} // namespace ncore

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Ncore-internal tensor layouts (paper V-B: "the NKL kernels only provide
+ * implementations for a number of internal data layouts that are
+ * optimized for Ncore", with NHWC conversion amortized at accelerated-
+ * subgraph edges).
+ *
+ * Interleaved (conv family): a row holds 64 consecutive padded x
+ * positions x 64 channels: byte [i*64 + c] = value(y, xTile + i, cb*64+c).
+ * Rows are indexed (y_padded, cblock, xtile) row-major. Tiles OWN 56
+ * positions and carry an 8-position right halo duplicating the next
+ * tile's first positions, so convolution windows up to 9 taps never
+ * cross a row. Spatial padding is materialized with zero-point bytes
+ * (so u8 MACs of pad positions contribute exactly zero after the
+ * zero-offset subtraction).
+ *
+ * Flat (FC/matmul vectors): elements packed 4096 per row in plain
+ * order; 16-bit types store planar row pairs (low bytes then high
+ * bytes, paper IV-C2).
+ *
+ * Weight layouts: conv weights pack 64-output-channel blocks as
+ * 64-byte tap blocks (64 taps per row) in the exact order the kernel's
+ * single-instruction Rep loop consumes them; depthwise and FC weights
+ * have their own packings documented at the functions.
+ */
+
+#ifndef NCORE_NKL_LAYOUT_H
+#define NCORE_NKL_LAYOUT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/tensor.h"
+
+namespace ncore {
+
+/** Positions owned per interleaved row (the rest is halo). */
+constexpr int kOwnW = 56;
+/** Positions stored per interleaved row. */
+constexpr int kRowPos = 64;
+/** Channels per interleaved row / channel block. */
+constexpr int kCBlock = 64;
+
+/** Layout kinds a tensor can live in on Ncore. */
+enum class LayoutKind : uint8_t {
+    Interleaved, ///< (y, cblock, xtile) rows of 64 pos x 64 ch.
+    Flat,        ///< Packed elements, 4096 per row (pairs when 16-bit).
+    GroupedRf,   ///< Stem layout for small-channel inputs: group g
+                 ///< holds output position g's receptive-field row,
+                 ///< bytes [dx*cin + c] (kw*cin <= 64). Strides fold
+                 ///< into the packing, so stem convolutions run
+                 ///< single-pass with dense kw*cin-tap loops (the
+                 ///< hand-tuned stem kernels of paper V-B).
+};
+
+/** Placement + geometry of one tensor in Ncore data RAM. */
+struct TensorLayout
+{
+    LayoutKind kind = LayoutKind::Interleaved;
+
+    // Logical tensor geometry (N assumed 1 on-device).
+    int h = 0, w = 0, c = 0;
+    // Materialized padding (zero-point bytes / rows).
+    int padTop = 0, padBottom = 0, padLeft = 0, padRight = 0;
+    // Zero-point byte used for padding and tail lanes.
+    uint8_t zeroByte = 0;
+    // 16-bit element flag (flat layouts; planar row pairs).
+    bool wide = false;
+
+    // Assigned by the memory planner.
+    int baseRow = 0;
+
+    // Banded residency: when bandH >= 0 only padded rows
+    // [bandStart, bandStart + bandH) are materialized on-chip (large
+    // inputs are staged band-by-band by the host, paper IV-A: x86
+    // cores place data at the beginning of latency-critical runs).
+    int bandStart = 0;
+    int bandH = -1;
+
+    // GroupedRf parameters (the consuming stem convolution's shape).
+    int rfStride = 1;
+    int rfKw = 1;
+    int rfOutTiles = 1; ///< x-tiles of the consumer's output layout.
+    int rfOutPadL = 0;  ///< Left pad of the consumer's output layout
+                        ///< (group g holds out coord t*56+g's field).
+
+    // Y-packing (small-width deep layers): when ny > 0 a row holds
+    // `ny + 2` y-slots of `pitch` positions each — one pre and one
+    // post vertical-halo slot around ny owned padded ys. Row (B, cb)
+    // slot j covers padded y = B*ny + j - 1. Requires pitch ==
+    // paddedW() and (ny + 2) * pitch <= 64. The paper's mapping
+    // rounds a spatial dimension up to a power of two and fills the
+    // 4096 lanes with W x K; this is the same idea with y folded in
+    // when W alone cannot fill a row.
+    int ny = 0;
+    int pitch = 0;
+
+    bool packed() const { return ny > 0; }
+    int slots() const { return ny + 2; }
+
+    /** Y-blocks a packed tensor spans. */
+    int
+    blocks() const
+    {
+        return (paddedH() + ny - 1) / ny;
+    }
+
+    /** Row of (block, cblock) for packed tensors. */
+    int
+    rowOfPacked(int block, int cb) const
+    {
+        return block * cblocks() + cb;
+    }
+
+    /** Block containing padded y (as an owned slot). */
+    int blockOf(int yp) const { return yp / ny; }
+    /** Slot index of padded y within its owning block's row. */
+    int slotOf(int yp) const { return yp - blockOf(yp) * ny + 1; }
+
+    int paddedW() const { return padLeft + w + padRight; }
+    int paddedH() const { return padTop + h + padBottom; }
+    int storedH() const { return bandH >= 0 ? bandH : paddedH(); }
+
+    int
+    cblocks() const
+    {
+        if (kind == LayoutKind::GroupedRf)
+            return 1;
+        return (c + kCBlock - 1) / kCBlock;
+    }
+
+    int
+    xtiles() const
+    {
+        if (kind == LayoutKind::GroupedRf)
+            return rfOutTiles;
+        return (paddedW() + kOwnW - 1) / kOwnW;
+    }
+
+    /** Rows this tensor occupies on-chip. */
+    int
+    rows() const
+    {
+        if (kind == LayoutKind::Flat) {
+            int64_t elems = int64_t(h ? h : 1) * (w ? w : 1) * c;
+            int per_row = 4096;
+            int r = int((elems + per_row - 1) / per_row);
+            return wide ? 2 * r : r;
+        }
+        if (packed())
+            return blocks() * cblocks();
+        return storedH() * cblocks() * xtiles();
+    }
+
+    /** Row index (relative to baseRow) of (padded y, cblock, xtile). */
+    int
+    rowOf(int yp, int cb, int t) const
+    {
+        return ((yp - bandStart) * cblocks() + cb) * xtiles() + t;
+    }
+};
+
+/** Build the standard interleaved layout for an NHWC activation. */
+TensorLayout interleavedLayout(const Shape &shape, int pad_top,
+                               int pad_bottom, int pad_left, int pad_right,
+                               uint8_t zero_byte);
+
+/** Build a flat layout for a vector/matrix tensor. */
+TensorLayout flatLayout(int64_t elems, bool wide);
+
+/**
+ * Convert an interleaved layout to its y-packed form (pads forced to
+ * 1 on every side; pitch = w + 2; ny = 64/pitch - 2). Caller must
+ * check yPackable() first.
+ */
+TensorLayout yPackedLayout(const Shape &shape, uint8_t zero_byte);
+
+/** True when a tensor of this width benefits from y-packing. */
+inline bool
+yPackable(int64_t w)
+{
+    int pitch = int(w) + 2;
+    return pitch <= 16 && 64 / pitch - 2 >= 2;
+}
+
+/** Pack / unpack an NHWC uint8 tensor to/from y-packed rows (host
+ *  side; halo slots and pads are materialized, so host-packed inputs
+ *  need no on-chip patch). */
+void packYPacked(const Tensor &t, int64_t n, const TensorLayout &lay,
+                 uint8_t *dst);
+void unpackYPacked(const uint8_t *src, const TensorLayout &lay,
+                   Tensor &t, int64_t n);
+
+/**
+ * Pack an NHWC uint8 tensor (batch index `n`) into interleaved rows.
+ * `dst` must hold layout.rows() * 4096 bytes.
+ */
+void packInterleaved(const Tensor &t, int64_t n, const TensorLayout &lay,
+                     uint8_t *dst);
+
+/** Inverse of packInterleaved: extract the valid region into `t`. */
+void unpackInterleaved(const uint8_t *src, const TensorLayout &lay,
+                       Tensor &t, int64_t n);
+
+/**
+ * Pack an NHWC uint8 tensor into the GroupedRf stem layout: row
+ * (padded input y, out tile t), group g = consumer output position
+ * t*56+g, bytes [dx*cin + c] = input[y, (t*56+g)*rfStride + dx -
+ * padLeft, c]. Honors band fields like packInterleaved.
+ */
+void packGroupedRf(const Tensor &t, int64_t n, const TensorLayout &lay,
+                   uint8_t *dst);
+
+/** Pack a flat vector (uint8 / int8, or 16-bit planar when lay.wide). */
+void packFlat(const Tensor &t, int64_t n, const TensorLayout &lay,
+              uint8_t *dst);
+void unpackFlat(const uint8_t *src, const TensorLayout &lay, Tensor &t,
+                int64_t n);
+
+// ---------------------------------------------------------------------
+// Weight RAM images
+// ---------------------------------------------------------------------
+
+/**
+ * Conv weight image for OHWI weights [K, Kh, Kw, Cin]:
+ * per output-channel block kb, `Kh * cblocks(Cin) * Kw` 64-tap groups in
+ * the Rep-loop order (r, cb, s, c); each tap is a 64-byte block
+ * w[kb*64 .. kb*64+63, tap], padded with the weight zero point.
+ * Preceded by one bias row per kb (64 int32 in bytes 0..255).
+ * Returns rows of 4096 bytes: [bias rows][tap rows].
+ */
+std::vector<uint8_t> packConvWeights(const Tensor &w, const Tensor *bias,
+                                     uint8_t zero_byte);
+
+/** Rows occupied by packConvWeights output. */
+int convWeightRows(int64_t k, int64_t kh, int64_t kw, int64_t cin);
+
+/**
+ * Stem conv weight image (GroupedRf input layout): per output-channel
+ * block kb, one bias row then kh*kw*cin dense taps in (r, s, c) order,
+ * 64 taps per row.
+ */
+std::vector<uint8_t> packStemConvWeights(const Tensor &w,
+                                         const Tensor *bias,
+                                         uint8_t zero_byte);
+
+int stemConvWeightRows(int64_t k, int64_t kh, int64_t kw, int64_t cin);
+
+/**
+ * Depthwise weight image for [1, Kh, Kw, C]: per channel block cb, one
+ * bias row then one tap row holding Kh*Kw 64-byte blocks w[cb*64+c, r, s].
+ */
+std::vector<uint8_t> packDepthwiseWeights(const Tensor &w,
+                                          const Tensor *bias,
+                                          uint8_t zero_byte);
+
+int depthwiseWeightRows(int64_t kh, int64_t kw, int64_t c);
+
+/**
+ * FC weight image for [Cout, Cin]: per output chunk of 4096, one bias
+ * row quartet (4096 int32 -> 4 rows) then Cin rows of 4096 output
+ * weights each: row for input c holds w[chunk*4096 + j, c] at byte j.
+ */
+std::vector<uint8_t> packFcWeights(const Tensor &w, const Tensor *bias,
+                                   uint8_t zero_byte);
+
+int fcWeightRows(int64_t cout, int64_t cin);
+
+/**
+ * bf16 matmul weight image for [K, N] (row-major): per output chunk of
+ * 4096 columns, K planar row pairs; pair k holds w[k, chunk*4096 + j]
+ * as bf16 lo/hi bytes at position j.
+ */
+std::vector<uint8_t> packMatmulBf16Weights(const Tensor &w);
+
+int matmulBf16WeightRows(int64_t k, int64_t n);
+
+/** Prefix mask row: bytes [0, 64*groups) = 1, rest 0 (for LoadMask). */
+std::vector<uint8_t> prefixMaskRow(int groups);
+
+} // namespace ncore
+
+#endif // NCORE_NKL_LAYOUT_H

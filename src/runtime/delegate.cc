@@ -1,0 +1,84 @@
+#include "delegate.h"
+
+#include <unordered_map>
+
+namespace ncore {
+
+InferenceResult
+DelegateExecutor::infer(const std::vector<Tensor> &inputs)
+{
+    const Loadable *model = runtime_.model();
+    fatal_if(!model, "delegate executor needs a loaded model");
+    const Graph &g = model->graph;
+    fatal_if(inputs.size() != g.inputs().size(),
+             "model expects %zu inputs", g.inputs().size());
+
+    InferenceResult result;
+    std::unordered_map<TensorId, Tensor> values;
+
+    for (TensorId id = 0; id < g.numTensors(); ++id)
+        if (g.tensor(id).isConst)
+            values[id] = g.tensor(id).value;
+    for (size_t i = 0; i < inputs.size(); ++i)
+        values[g.inputs()[i]] = inputs[i];
+
+    std::vector<bool> done(g.nodes().size(), false);
+
+    for (size_t ni = 0; ni < g.nodes().size(); ++ni) {
+        if (done[ni])
+            continue;
+        int assignment = model->nodeAssignment[ni];
+
+        if (assignment < 0) {
+            // x86-resident node: reference kernel + cost model.
+            const Node &n = g.nodes()[ni];
+            std::vector<const Tensor *> ins;
+            for (TensorId in : n.inputs)
+                ins.push_back(&values.at(in));
+            values[n.outputs[0]] =
+                ReferenceExecutor::executeNode(g, n, ins);
+            result.timing.x86OpSeconds += cost_.nodeSeconds(g, n);
+            done[ni] = true;
+            continue;
+        }
+
+        // First node of an Ncore subgraph: invoke the whole region.
+        const CompiledSubgraph &sg =
+            model->subgraphs[size_t(assignment)];
+        std::vector<Tensor> sg_inputs;
+        int64_t edge_bytes = 0;
+        for (TensorId in : sg.inputs) {
+            sg_inputs.push_back(values.at(in));
+            edge_bytes += int64_t(sg_inputs.back().byteSize());
+        }
+
+        InvokeStats stats;
+        std::vector<Tensor> sg_outputs =
+            runtime_.invoke(assignment, sg_inputs, &stats);
+
+        for (size_t oi = 0; oi < sg.outputs.size(); ++oi) {
+            edge_bytes += int64_t(sg_outputs[oi].byteSize());
+            values[sg.outputs[oi]] = std::move(sg_outputs[oi]);
+        }
+
+        result.timing.ncoreCycles += stats.cycles;
+        result.timing.ncoreMacs += stats.macOps;
+        result.timing.dmaBytes += stats.dmaBytesRead;
+        result.timing.ncoreSeconds +=
+            double(stats.cycles) / runtime_.clockHz();
+        result.timing.layoutSeconds +=
+            cost_.layoutConversionSeconds(edge_bytes);
+
+        for (int id : sg.nodeIds)
+            done[size_t(id)] = true;
+    }
+
+    result.timing.frameworkSeconds =
+        cost_.frameworkOverheadSeconds(int(g.nodes().size()));
+
+    for (TensorId out : g.outputs())
+        result.outputs.push_back(values.at(out));
+    return result;
+}
+
+} // namespace ncore

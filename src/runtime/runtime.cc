@@ -1,0 +1,207 @@
+#include "runtime.h"
+
+namespace ncore {
+
+NcoreRuntime::NcoreRuntime(NcoreDriver &driver) : driver_(driver)
+{
+    machine_ = &driver_.claim();
+}
+
+NcoreRuntime::~NcoreRuntime()
+{
+    driver_.release();
+}
+
+void
+NcoreRuntime::loadModel(const Loadable &loadable)
+{
+    model_ = &loadable;
+    streamBase_.assign(loadable.subgraphs.size(), 0);
+
+    for (size_t si = 0; si < loadable.subgraphs.size(); ++si) {
+        const CompiledSubgraph &sg = loadable.subgraphs[si];
+
+        // Shared prefix-mask table (incl. the empty mask) plus any
+        // layout-specific content masks.
+        for (int g = 0; g <= 64; ++g) {
+            auto row = prefixMaskRow(g);
+            machine_->hostWriteRow(false, sg.masks.rowFor(g),
+                                   row.data());
+        }
+        for (const auto &kv : sg.extraMasks)
+            machine_->hostWriteRow(false, kv.first,
+                                   kv.second.data());
+
+        // Requant table and LUTs.
+        for (size_t i = 0; i < sg.rqTable.size(); ++i)
+            machine_->writeRequantEntry(int(i), sg.rqTable[i]);
+        for (const auto &kv : sg.luts)
+            machine_->writeLut(kv.first, kv.second);
+
+        // Max-pool accumulator-init constants.
+        if (sg.maxPoolInitRowIdx >= 0) {
+            auto row = maxPoolInitRow();
+            machine_->hostWriteRow(true, sg.maxPoolInitRowIdx,
+                                   row.data());
+        }
+
+        if (sg.weightsPersistent) {
+            for (size_t r = 0; r * 4096 < sg.persistentWeights.size();
+                 ++r)
+                machine_->hostWriteRow(
+                    true, int(r), sg.persistentWeights.data() + r * 4096);
+        } else {
+            // Weights live in system DRAM; the driver programs the
+            // descriptors and the program kicks them per inference.
+            fatal_if(si > 0 && !loadable.subgraphs[0].weightsPersistent,
+                     "only one streaming subgraph per model supported");
+            uint64_t base = driver_.allocateDmaMemory(
+                sg.streamImage.size());
+            streamBase_[si] = base;
+            machine_->sysmem().write(base, sg.streamImage.data(),
+                                     sg.streamImage.size());
+            for (size_t k = 0; k < sg.chunks.size(); ++k) {
+                const StreamChunk &ch = sg.chunks[k];
+                DmaDescriptor d;
+                d.toNcore = true;
+                d.weightRam = true;
+                d.ramRow = ch.targetRow;
+                d.rowCount = ch.rows;
+                d.sysAddr = base + ch.dramOffset;
+                d.queue = ch.queue;
+                driver_.writeDescriptor(int(k), d);
+            }
+        }
+    }
+}
+
+void
+NcoreRuntime::runProgram(const std::vector<EncodedInstruction> &code)
+{
+    // Stream the program through the double-buffered IRAM: fill both
+    // banks, then refill each bank as the sequencer leaves it. The
+    // paper (IV-C) measures that this loading never stalls execution,
+    // so no extra cycles are modeled for it.
+    const int bank = Machine::kBankInstrs;
+    size_t next = 0;
+    auto fill = [&](int b) {
+        std::vector<EncodedInstruction> seg;
+        seg.reserve(size_t(bank));
+        for (int i = 0; i < bank && next < code.size(); ++i, ++next)
+            seg.push_back(code[next]);
+        if (!seg.empty())
+            machine_->writeIram(b, seg);
+    };
+    fill(0);
+    fill(1);
+    machine_->setBankFreeCallback([&](int freed) { fill(freed); });
+    machine_->start(0);
+    RunResult res = machine_->run();
+    machine_->setBankFreeCallback(nullptr);
+    fatal_if(res.reason != StopReason::Halted,
+             "Ncore program did not run to completion");
+}
+
+std::vector<Tensor>
+NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
+                     InvokeStats *stats)
+{
+    fatal_if(!model_, "invoke before loadModel");
+    const CompiledSubgraph &sg =
+        model_->subgraphs[size_t(subgraph_index)];
+    fatal_if(inputs.size() != sg.inputs.size(),
+             "subgraph expects %zu inputs, got %zu", sg.inputs.size(),
+             inputs.size());
+
+    const uint64_t cycles0 = machine_->cycles();
+    const uint64_t macs0 = machine_->perf().macOps;
+    const uint64_t dma0 = machine_->dma().stats().bytesRead;
+    const uint64_t stall0 = machine_->perf().dmaFenceStalls;
+    const uint64_t events0 = machine_->eventLog().totalRecorded();
+
+    // Pack inputs into the internal layouts (subgraph edges). Banded
+    // inputs are staged later, interleaved with their band programs.
+    auto banded = [&](TensorId id) {
+        for (const InputBandPlan &bp : sg.inputBands)
+            if (bp.tensor == id)
+                return true;
+        return false;
+    };
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        if (banded(sg.inputs[i]))
+            continue;
+        const TensorLayout &lay = sg.layouts.at(sg.inputs[i]);
+        std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
+        if (lay.packed())
+            packYPacked(inputs[i], 0, lay, img.data());
+        else if (lay.kind == LayoutKind::Interleaved)
+            packInterleaved(inputs[i], 0, lay, img.data());
+        else if (lay.kind == LayoutKind::GroupedRf)
+            packGroupedRf(inputs[i], 0, lay, img.data());
+        else
+            packFlat(inputs[i], 0, lay, img.data());
+        for (int r = 0; r < lay.rows(); ++r)
+            machine_->hostWriteRow(false, lay.baseRow + r,
+                                   img.data() + size_t(r) * 4096);
+    }
+
+    // Banded staging: write each band, run its program segment.
+    for (const InputBandPlan &bp : sg.inputBands) {
+        size_t input_idx = 0;
+        for (size_t i = 0; i < sg.inputs.size(); ++i)
+            if (sg.inputs[i] == bp.tensor)
+                input_idx = i;
+        for (size_t b = 0; b < bp.bandLayouts.size(); ++b) {
+            const TensorLayout &lay = bp.bandLayouts[b];
+            std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
+            if (lay.kind == LayoutKind::GroupedRf)
+                packGroupedRf(inputs[input_idx], 0, lay, img.data());
+            else
+                packInterleaved(inputs[input_idx], 0, lay, img.data());
+            for (int r = 0; r < lay.rows(); ++r)
+                machine_->hostWriteRow(false, lay.baseRow + r,
+                                       img.data() + size_t(r) * 4096);
+            runProgram(bp.bandCode[b]);
+        }
+    }
+
+    runProgram(sg.code);
+
+    // Unpack outputs.
+    std::vector<Tensor> outs;
+    for (TensorId out_id : sg.outputs) {
+        const GirTensor &desc = model_->graph.tensor(out_id);
+        const TensorLayout &lay = sg.layouts.at(out_id);
+        Tensor t(desc.shape, desc.dtype, desc.quant);
+        std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
+        for (int r = 0; r < lay.rows(); ++r)
+            machine_->hostReadRow(false, lay.baseRow + r,
+                                  img.data() + size_t(r) * 4096);
+        if (lay.packed())
+            unpackYPacked(img.data(), lay, t, 0);
+        else if (lay.kind == LayoutKind::Interleaved)
+            unpackInterleaved(img.data(), lay, t, 0);
+        else
+            unpackFlat(img.data(), lay, t, 0);
+        outs.push_back(std::move(t));
+    }
+
+    if (stats) {
+        stats->cycles = machine_->cycles() - cycles0;
+        stats->macOps = machine_->perf().macOps - macs0;
+        stats->dmaBytesRead =
+            machine_->dma().stats().bytesRead - dma0;
+        stats->dmaStallCycles =
+            machine_->perf().dmaFenceStalls - stall0;
+        auto all = machine_->eventLog().snapshot();
+        uint64_t new_events =
+            machine_->eventLog().totalRecorded() - events0;
+        size_t start = all.size() >= new_events
+                           ? all.size() - size_t(new_events)
+                           : 0;
+        stats->events.assign(all.begin() + long(start), all.end());
+    }
+    return outs;
+}
+
+} // namespace ncore

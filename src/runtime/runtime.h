@@ -1,0 +1,75 @@
+/**
+ * @file
+ * User-mode Ncore runtime (paper V-C): a standalone library over the
+ * memory-mapped device interface. Loads Loadables (weights, requant
+ * tables, LUTs, DMA plans), streams programs through the
+ * double-buffered instruction RAM, launches execution and collects the
+ * debug/event information the evaluation methodology relies on.
+ */
+
+#ifndef NCORE_RUNTIME_RUNTIME_H
+#define NCORE_RUNTIME_RUNTIME_H
+
+#include <vector>
+
+#include "gcl/loadable.h"
+#include "runtime/driver.h"
+
+namespace ncore {
+
+/** Timing/debug record of one subgraph invocation. */
+struct InvokeStats
+{
+    uint64_t cycles = 0;        ///< Ncore cycles for the invocation.
+    uint64_t macOps = 0;
+    uint64_t dmaBytesRead = 0;
+    uint64_t dmaStallCycles = 0;
+    std::vector<NcoreEvent> events;
+};
+
+/** User-mode runtime bound to one Ncore device. */
+class NcoreRuntime
+{
+  public:
+    explicit NcoreRuntime(NcoreDriver &driver);
+    ~NcoreRuntime();
+
+    NcoreRuntime(const NcoreRuntime &) = delete;
+    NcoreRuntime &operator=(const NcoreRuntime &) = delete;
+
+    /**
+     * Load a compiled model: mask tables, persistent weights or the
+     * DRAM stream image + descriptors, requant tables and LUTs.
+     */
+    void loadModel(const Loadable &loadable);
+
+    /**
+     * Execute one compiled subgraph. Inputs are host NHWC tensors in
+     * CompiledSubgraph::inputs order; outputs come back the same way.
+     * The runtime performs the internal-layout conversion at the
+     * subgraph edges (paper V-B).
+     */
+    std::vector<Tensor> invoke(int subgraph_index,
+                               const std::vector<Tensor> &inputs,
+                               InvokeStats *stats = nullptr);
+
+    /** Clock frequency of the attached device. */
+    double clockHz() const { return machine_->config().clockHz; }
+
+    const Loadable *model() const { return model_; }
+
+    /** Direct machine access for tests/debug tooling. */
+    Machine &machine() { return *machine_; }
+
+  private:
+    void runProgram(const std::vector<EncodedInstruction> &code);
+
+    NcoreDriver &driver_;
+    Machine *machine_ = nullptr;
+    const Loadable *model_ = nullptr;
+    std::vector<uint64_t> streamBase_; ///< DRAM base per subgraph.
+};
+
+} // namespace ncore
+
+#endif // NCORE_RUNTIME_RUNTIME_H

@@ -1,0 +1,81 @@
+#include "compress.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ncore {
+
+namespace {
+constexpr int kRowBytes = 4096;
+constexpr int kBlock = 64;
+} // namespace
+
+std::vector<uint8_t>
+compressRows(const uint8_t *src, int rows, uint8_t zero_byte)
+{
+    std::vector<uint8_t> out;
+    out.reserve(size_t(rows) * kRowBytes / 4);
+    for (int r = 0; r < rows; ++r) {
+        const uint8_t *row = src + size_t(r) * kRowBytes;
+        for (int b = 0; b < kRowBytes / kBlock; ++b) {
+            const uint8_t *block = row + b * kBlock;
+            uint64_t mask = 0;
+            for (int i = 0; i < kBlock; ++i)
+                if (block[i] != zero_byte)
+                    mask |= 1ull << i;
+            uint8_t mask_bytes[8];
+            std::memcpy(mask_bytes, &mask, 8);
+            out.insert(out.end(), mask_bytes, mask_bytes + 8);
+            for (int i = 0; i < kBlock; ++i)
+                if (mask & (1ull << i))
+                    out.push_back(block[i]);
+        }
+    }
+    return out;
+}
+
+size_t
+decompressRows(const uint8_t *src, size_t src_bytes, int rows,
+               uint8_t zero_byte, uint8_t *dst)
+{
+    size_t pos = 0;
+    for (int r = 0; r < rows; ++r) {
+        uint8_t *row = dst + size_t(r) * kRowBytes;
+        for (int b = 0; b < kRowBytes / kBlock; ++b) {
+            fatal_if(pos + 8 > src_bytes,
+                     "compressed weight stream truncated");
+            uint64_t mask;
+            std::memcpy(&mask, src + pos, 8);
+            pos += 8;
+            uint8_t *block = row + b * kBlock;
+            std::memset(block, zero_byte, kBlock);
+            int nz = std::popcount(mask);
+            fatal_if(pos + size_t(nz) > src_bytes,
+                     "compressed weight stream truncated");
+            for (int i = 0; i < kBlock; ++i)
+                if (mask & (1ull << i))
+                    block[i] = src[pos++];
+        }
+    }
+    return pos;
+}
+
+size_t
+compressedSize(const uint8_t *src, int rows, uint8_t zero_byte)
+{
+    size_t bytes = 0;
+    for (int r = 0; r < rows; ++r) {
+        const uint8_t *row = src + size_t(r) * kRowBytes;
+        for (int b = 0; b < kRowBytes / kBlock; ++b) {
+            bytes += 8;
+            for (int i = 0; i < kBlock; ++i)
+                if (row[b * kBlock + i] != zero_byte)
+                    ++bytes;
+        }
+    }
+    return bytes;
+}
+
+} // namespace ncore

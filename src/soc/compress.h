@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Sparse-weight compression for the DMA path. The paper notes Ncore
+ * "includes a hardware decompression engine for sparse weights, but
+ * does not exploit data sparsity" (§VII): weights whose bytes mostly
+ * equal the zero-point code are stored compressed in DRAM and expanded
+ * by the DMA engine on the way into the weight RAM, cutting the
+ * streaming bandwidth that bounds large-model layers.
+ *
+ * Format (hardware-friendly, fixed-rate metadata): each 4096-byte row
+ * is 64 blocks of 64 bytes; a block is encoded as an 8-byte presence
+ * bitmask followed by the non-zero-point bytes in order. A fully-dense
+ * block costs 72 bytes (12.5% overhead); a fully-sparse block costs 8.
+ */
+
+#ifndef NCORE_SOC_COMPRESS_H
+#define NCORE_SOC_COMPRESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ncore {
+
+/** Compress `rows` full 4096-byte rows against a zero byte. */
+std::vector<uint8_t> compressRows(const uint8_t *src, int rows,
+                                  uint8_t zero_byte);
+
+/**
+ * Decompress exactly `rows` rows from `src` into `dst` (rows * 4096
+ * bytes). Returns the number of compressed bytes consumed.
+ */
+size_t decompressRows(const uint8_t *src, size_t src_bytes, int rows,
+                      uint8_t zero_byte, uint8_t *dst);
+
+/** Compressed size without materializing the stream. */
+size_t compressedSize(const uint8_t *src, int rows, uint8_t zero_byte);
+
+} // namespace ncore
+
+#endif // NCORE_SOC_COMPRESS_H

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * CHA system DRAM: the four-channel DDR4-3200 pool behind the ring bus
+ * (paper section III). Functionally a flat byte store with a bump
+ * allocator used by the simulated kernel driver to carve out Ncore's DMA
+ * window; timing is handled by the DmaEngine's bandwidth model.
+ */
+
+#ifndef NCORE_SOC_SYSMEM_H
+#define NCORE_SOC_SYSMEM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/machine.h"
+
+namespace ncore {
+
+/** Flat system memory with a page-sparse backing store. */
+class SystemMemory
+{
+  public:
+    explicit SystemMemory(int64_t capacity_bytes = 4ll << 30)
+        : capacity_(capacity_bytes)
+    {}
+
+    int64_t capacity() const { return capacity_; }
+
+    /** Allocate a block; returns its base address. */
+    uint64_t
+    allocate(uint64_t bytes, uint64_t align = 64)
+    {
+        uint64_t base = (brk_ + align - 1) / align * align;
+        fatal_if(base + bytes > static_cast<uint64_t>(capacity_),
+                 "system memory exhausted: need %llu at %llu, cap %lld",
+                 static_cast<unsigned long long>(bytes),
+                 static_cast<unsigned long long>(base),
+                 static_cast<long long>(capacity_));
+        brk_ = base + bytes;
+        return base;
+    }
+
+    /** Release everything (between benchmark runs). */
+    void
+    reset()
+    {
+        brk_ = 0;
+        pages_.clear();
+    }
+
+    uint64_t bytesAllocated() const { return brk_; }
+
+    void
+    write(uint64_t addr, const uint8_t *src, uint64_t bytes)
+    {
+        for (uint64_t i = 0; i < bytes; ++i)
+            pageFor(addr + i)[(addr + i) & kPageMask] = src[i];
+    }
+
+    void
+    read(uint64_t addr, uint8_t *dst, uint64_t bytes) const
+    {
+        for (uint64_t i = 0; i < bytes; ++i) {
+            const std::vector<uint8_t> *p = findPage(addr + i);
+            dst[i] = p ? (*p)[(addr + i) & kPageMask] : 0;
+        }
+    }
+
+  private:
+    static constexpr uint64_t kPageBits = 16;
+    static constexpr uint64_t kPageSize = 1ull << kPageBits;
+    static constexpr uint64_t kPageMask = kPageSize - 1;
+
+    std::vector<uint8_t> &
+    pageFor(uint64_t addr)
+    {
+        uint64_t pn = addr >> kPageBits;
+        if (pn >= pages_.size())
+            pages_.resize(pn + 1);
+        if (pages_[pn].empty())
+            pages_[pn].resize(kPageSize, 0);
+        return pages_[pn];
+    }
+
+    const std::vector<uint8_t> *
+    findPage(uint64_t addr) const
+    {
+        uint64_t pn = addr >> kPageBits;
+        if (pn >= pages_.size() || pages_[pn].empty())
+            return nullptr;
+        return &pages_[pn];
+    }
+
+    int64_t capacity_;
+    uint64_t brk_ = 0;
+    std::vector<std::vector<uint8_t>> pages_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_SOC_SYSMEM_H

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * x86 reference executor: the golden model for every GIR operation.
+ *
+ * Two roles, mirroring the paper:
+ *  - Verification: the "instruction simulator ... developed as the golden
+ *    model to drive hardware verification efforts" (V-E). Quantized
+ *    kernels here use exactly the same Requant / AddQuantPlan / LUT
+ *    construction as the NKL code generator, so Ncore execution must be
+ *    bit-identical to this executor.
+ *  - Fallback execution: ops the delegate leaves on the x86 cores
+ *    (pre/post-processing, NMS, softmax) run through these kernels.
+ */
+
+#ifndef NCORE_X86_REFERENCE_H
+#define NCORE_X86_REFERENCE_H
+
+#include <vector>
+
+#include "common/tensor.h"
+#include "gir/graph.h"
+
+namespace ncore {
+
+/** Executes GIR graphs on the host, node by node. */
+class ReferenceExecutor
+{
+  public:
+    explicit ReferenceExecutor(const Graph &g) : g_(g) {}
+
+    /**
+     * Run the whole graph on the given inputs (in graph-input order).
+     * Returns the graph outputs in order.
+     */
+    std::vector<Tensor> run(const std::vector<Tensor> &inputs);
+
+    /** Value of any tensor after run() (constants included). */
+    const Tensor &valueOf(TensorId id) const;
+
+    /** Execute one node given bound input values (used by the runtime
+     *  for x86-resident subgraph portions). */
+    static Tensor executeNode(const Graph &g, const Node &n,
+                              const std::vector<const Tensor *> &ins);
+
+  private:
+    const Graph &g_;
+    std::vector<Tensor> values_;
+    std::vector<bool> bound_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_X86_REFERENCE_H

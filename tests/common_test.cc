@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit and property tests for the common substrate: bfloat16 conversion,
+ * quantization and requantization semantics, saturating arithmetic,
+ * deterministic RNG, tensors and sample statistics.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bf16.h"
+#include "common/quant.h"
+#include "common/rng.h"
+#include "common/saturate.h"
+#include "common/stats.h"
+#include "common/tensor.h"
+
+namespace ncore {
+namespace {
+
+TEST(BFloat16, RoundTripExactValues)
+{
+    // Values with <= 8 mantissa bits survive the round trip exactly.
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, -3.25f, 65280.0f}) {
+        EXPECT_EQ(BFloat16::fromFloat(f).toFloat(), f) << f;
+    }
+}
+
+TEST(BFloat16, RoundToNearestEven)
+{
+    // Low 16 bits = 0x8000 is exactly halfway between bf16(1.0) and the
+    // next representable value; ties round to even (stay at 1.0).
+    float halfway = std::bit_cast<float>(0x3f808000u);
+    EXPECT_EQ(BFloat16::fromFloat(halfway).toFloat(), 1.0f);
+    // Just above the halfway point rounds up.
+    float above = std::bit_cast<float>(0x3f808001u);
+    EXPECT_GT(BFloat16::fromFloat(above).toFloat(), 1.0f);
+    // Halfway with an odd truncated mantissa rounds up to even.
+    float odd_half = std::bit_cast<float>(0x3f818000u);
+    EXPECT_EQ(BFloat16::fromFloat(odd_half).bits, 0x3f82);
+}
+
+TEST(BFloat16, RelativeErrorBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        float f = (rng.nextFloat() - 0.5f) * 100.0f;
+        if (f == 0.0f)
+            continue;
+        float g = BFloat16::fromFloat(f).toFloat();
+        EXPECT_LE(std::fabs(g - f) / std::fabs(f), 1.0f / 128.0f);
+    }
+}
+
+TEST(BFloat16, NanStaysNan)
+{
+    float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(BFloat16::fromFloat(nan).toFloat()));
+}
+
+TEST(Saturate, Bounds)
+{
+    EXPECT_EQ(satAdd32(std::numeric_limits<int32_t>::max(), 1),
+              std::numeric_limits<int32_t>::max());
+    EXPECT_EQ(satAdd32(std::numeric_limits<int32_t>::min(), -1),
+              std::numeric_limits<int32_t>::min());
+    EXPECT_EQ(satAdd32(5, 7), 12);
+    EXPECT_EQ(satNarrow8(1000), 127);
+    EXPECT_EQ(satNarrow8(-1000), -128);
+    EXPECT_EQ(satNarrowU8(-3), 0);
+    EXPECT_EQ(satNarrowU8(300), 255);
+    EXPECT_EQ(satNarrow16(40000), 32767);
+}
+
+TEST(Quant, QuantizeDequantizeRoundTrip)
+{
+    QuantParams qp = chooseAsymmetricUint8(-2.0f, 6.0f);
+    // Zero must be exactly representable.
+    EXPECT_EQ(qp.dequantize(qp.zeroPoint), 0.0f);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        float real = rng.nextFloat() * 8.0f - 2.0f;
+        int32_t q = qp.quantize(real, DType::UInt8);
+        float back = qp.dequantize(q);
+        EXPECT_NEAR(back, real, qp.scale * 0.51f);
+    }
+}
+
+TEST(Quant, SymmetricInt8)
+{
+    QuantParams qp = chooseSymmetricInt8(3.5f);
+    EXPECT_EQ(qp.zeroPoint, 0);
+    EXPECT_EQ(qp.quantize(3.5f, DType::Int8), 127);
+    EXPECT_EQ(qp.quantize(-3.5f, DType::Int8), -127);
+}
+
+TEST(Requant, MatchesRealMultiplication)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+        float m = 0.0001f + rng.nextFloat() * 0.9f;
+        int32_t zp = int32_t(rng.nextRange(0, 255));
+        Requant rq = computeRequant(m, zp);
+        for (int i = 0; i < 50; ++i) {
+            int32_t acc = int32_t(rng.nextRange(-2000000, 2000000));
+            int32_t got = rq.apply(acc);
+            double want = double(acc) * double(m) + zp;
+            EXPECT_NEAR(double(got), want, 1.5)
+                << "m=" << m << " acc=" << acc;
+        }
+    }
+}
+
+TEST(Requant, LeftShiftForMultipliersAboveOne)
+{
+    Requant rq = computeRequant(4.0f, 0);
+    EXPECT_EQ(rq.apply(100), 400);
+    EXPECT_EQ(rq.apply(-7), -28);
+}
+
+TEST(Requant, RoundsToNearest)
+{
+    Requant rq = computeRequant(0.5f, 0);
+    EXPECT_EQ(rq.apply(5), 3);  // 2.5 rounds away from .5 upward
+    EXPECT_EQ(rq.apply(4), 2);
+    EXPECT_EQ(rq.apply(3), 2);  // 1.5 -> 2
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        int64_t v = rng.nextRange(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(99);
+    double sum = 0, sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.nextGaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Tensor, NhwcIndexing)
+{
+    Tensor t(Shape{1, 4, 5, 3}, DType::UInt8);
+    EXPECT_EQ(t.numElements(), 60);
+    t.setIntAt(t.nhwc(0, 2, 3, 1), 77);
+    EXPECT_EQ(t.intAt(((2 * 5) + 3) * 3 + 1), 77);
+}
+
+TEST(Tensor, IntSaturationOnStore)
+{
+    Tensor t(Shape{4}, DType::Int8);
+    t.setIntAt(0, 200);
+    t.setIntAt(1, -200);
+    EXPECT_EQ(t.intAt(0), 127);
+    EXPECT_EQ(t.intAt(1), -128);
+}
+
+TEST(Tensor, RealAtDequantizes)
+{
+    QuantParams qp{0.5f, 10};
+    Tensor t(Shape{2}, DType::UInt8, qp);
+    t.setIntAt(0, 14);
+    EXPECT_FLOAT_EQ(t.realAt(0), 2.0f);
+}
+
+TEST(Tensor, Bf16Storage)
+{
+    Tensor t(Shape{3}, DType::BFloat16);
+    t.setFloatAt(0, 1.5f);
+    t.setFloatAt(1, -0.25f);
+    EXPECT_EQ(t.floatAt(0), 1.5f);
+    EXPECT_EQ(t.floatAt(1), -0.25f);
+}
+
+TEST(Stats, Percentiles)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 100.0);
+    EXPECT_NEAR(s.percentile(0.90), 90.1, 0.2);
+    EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(Shape, ToString)
+{
+    EXPECT_EQ(Shape({1, 224, 224, 3}).toString(), "1x224x224x3");
+}
+
+} // namespace
+} // namespace ncore

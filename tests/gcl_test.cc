@@ -1,0 +1,251 @@
+/**
+ * @file
+ * GCL tests: optimization passes (batch-norm folding, pad fusion,
+ * activation fusion, dead-node elimination), partitioning decisions,
+ * and compile-time planning invariants (layouts, memory plan, weight
+ * promotion vs streaming).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gcl/compiler.h"
+#include "gcl/passes.h"
+#include "x86/reference.h"
+
+namespace ncore {
+namespace {
+
+QuantParams
+actQp()
+{
+    return chooseAsymmetricUint8(-2.0f, 2.0f);
+}
+
+/** Small quantized conv helper for graph construction. */
+TensorId
+qconv(GraphBuilder &gb, Rng &rng, const std::string &name, TensorId in,
+      int cout, int k, int stride, int pad, ActFn act)
+{
+    const GirTensor &x = gb.graph().tensor(in);
+    QuantParams w_qp{0.02f, 128};
+    Tensor w(Shape{cout, k, k, x.shape.dim(3)}, DType::UInt8, w_qp);
+    w.fillRandom(rng);
+    Tensor b(Shape{cout}, DType::Int32);
+    for (int i = 0; i < cout; ++i)
+        b.setIntAt(i, int32_t(rng.nextRange(-1000, 1000)));
+    TensorId wid = gb.constant(name + ":w", w, w_qp);
+    TensorId bid = gb.constant(name + ":b", b);
+    return gb.conv2d(name, in, wid, bid, stride, stride, pad, pad, pad,
+                     pad, act, actQp());
+}
+
+TEST(GclPasses, FoldBatchNormIntoConv)
+{
+    Rng rng(1);
+    GraphBuilder gb("bn");
+    TensorId x = gb.input("x", Shape{1, 8, 8, 4}, DType::Float32);
+    Tensor w(Shape{8, 3, 3, 4}, DType::Float32);
+    w.fillGaussian(rng, 0.2f);
+    TensorId conv = gb.conv2d("c", x, gb.constant("w", w), kNoTensor, 1,
+                              1, 1, 1, 1, 1, ActFn::None);
+    Tensor scale(Shape{8}, DType::Float32);
+    Tensor offset(Shape{8}, DType::Float32);
+    for (int i = 0; i < 8; ++i) {
+        scale.setFloatAt(i, 0.5f + 0.1f * float(i));
+        offset.setFloatAt(i, float(i) - 4.0f);
+    }
+    TensorId bn = gb.batchNorm("bn", conv, gb.constant("s", scale),
+                               gb.constant("o", offset));
+    gb.output(bn);
+    Graph g = gb.take();
+
+    // Reference before folding.
+    Tensor x_val(Shape{1, 8, 8, 4}, DType::Float32);
+    x_val.fillGaussian(rng, 1.0f);
+    Tensor want = ReferenceExecutor(g).run({x_val})[0];
+
+    EXPECT_EQ(foldBatchNorm(g), 1);
+    g.verify();
+    EXPECT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].kind, OpKind::Conv2D);
+    EXPECT_EQ(g.nodes()[0].inputs.size(), 3u); // Bias created.
+
+    Tensor got = ReferenceExecutor(g).run({x_val})[0];
+    EXPECT_LT(maxAbsDiff(got, want), 1e-4f);
+}
+
+TEST(GclPasses, FuseExplicitPadIntoConv)
+{
+    // The MLPerf ResNet-50 reference-graph pattern (paper V-B).
+    Rng rng(2);
+    GraphBuilder gb("pad");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 8, 8, 16}, DType::UInt8, qp);
+    TensorId padded = gb.pad("p", x, 1, 1, 1, 1);
+    TensorId y = qconv(gb, rng, "c", padded, 16, 3, 1, 0, ActFn::None);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor x_val(Shape{1, 8, 8, 16}, DType::UInt8, qp);
+    x_val.fillRandom(rng);
+    Tensor want = ReferenceExecutor(g).run({x_val})[0];
+
+    EXPECT_EQ(fusePads(g), 1);
+    g.verify();
+    EXPECT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].attrs.padTop, 1);
+
+    Tensor got = ReferenceExecutor(g).run({x_val})[0];
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i));
+}
+
+TEST(GclPasses, FuseStandaloneRelu)
+{
+    Rng rng(3);
+    GraphBuilder gb("act");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 4, 4, 8}, DType::UInt8, qp);
+    TensorId c = qconv(gb, rng, "c", x, 8, 1, 1, 0, ActFn::None);
+    TensorId r = gb.relu("r", c);
+    gb.output(r);
+    Graph g = gb.take();
+
+    EXPECT_EQ(fuseActivations(g), 1);
+    EXPECT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].attrs.fusedAct, ActFn::Relu);
+}
+
+TEST(GclPasses, DeadNodeElimination)
+{
+    Rng rng(4);
+    GraphBuilder gb("dead");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 4, 4, 8}, DType::UInt8, qp);
+    TensorId live = qconv(gb, rng, "live", x, 8, 1, 1, 0, ActFn::None);
+    qconv(gb, rng, "dead", x, 8, 1, 1, 0, ActFn::None);
+    gb.output(live);
+    Graph g = gb.take();
+
+    EXPECT_EQ(eliminateDeadNodes(g), 1);
+    EXPECT_EQ(g.nodes().size(), 1u);
+    EXPECT_EQ(g.nodes()[0].name, "live");
+}
+
+TEST(GclPartition, SoftmaxStaysOnX86)
+{
+    Rng rng(5);
+    GraphBuilder gb("part");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 8, 8, 16}, DType::UInt8, qp);
+    TensorId c = qconv(gb, rng, "c", x, 16, 3, 1, 1, ActFn::Relu);
+    TensorId pool = gb.avgPool2d("gap", c, 8, 8, 1, 1, 0, 0, 0, 0);
+    TensorId flat = gb.reshape("flat", pool, Shape{1, 16});
+    Tensor w(Shape{10, 16}, DType::UInt8, QuantParams{0.02f, 128});
+    w.fillRandom(rng);
+    TensorId fc =
+        gb.fullyConnected("fc", flat,
+                          gb.constant("fw", w, QuantParams{0.02f, 128}),
+                          kNoTensor, ActFn::None, actQp());
+    TensorId sm = gb.softmax("sm", fc, 1.0f);
+    gb.output(sm);
+    Graph g = gb.take();
+
+    Loadable ld = compile(std::move(g));
+    ASSERT_EQ(ld.subgraphs.size(), 1u);
+    // conv, pool, reshape, fc on Ncore; softmax on x86.
+    EXPECT_EQ(ld.nodeAssignment[0], 0);
+    EXPECT_EQ(ld.nodeAssignment[1], 0);
+    EXPECT_EQ(ld.nodeAssignment[2], 0);
+    EXPECT_EQ(ld.nodeAssignment[3], 0);
+    EXPECT_EQ(ld.nodeAssignment[4], -1);
+    EXPECT_EQ(ld.subgraphs[0].outputs.size(), 1u);
+    EXPECT_TRUE(ld.subgraphs[0].weightsPersistent);
+    EXPECT_GT(ld.subgraphs[0].code.size(), 0u);
+}
+
+TEST(GclPlanning, StreamingChunksAlternateBuffers)
+{
+    Rng rng(6);
+    GraphBuilder gb("stream");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 8, 8, 64}, DType::UInt8, qp);
+    TensorId t = x;
+    for (int i = 0; i < 4; ++i)
+        t = qconv(gb, rng, "c" + std::to_string(i), t, 64, 3, 1, 1,
+                  ActFn::Relu);
+    gb.output(t);
+    Graph g = gb.take();
+
+    CompileOptions opts;
+    opts.forceStreaming = true;
+    Loadable ld = compile(std::move(g), opts);
+    ASSERT_EQ(ld.subgraphs.size(), 1u);
+    const CompiledSubgraph &sg = ld.subgraphs[0];
+    EXPECT_FALSE(sg.weightsPersistent);
+    ASSERT_EQ(sg.chunks.size(), 4u);
+    for (size_t k = 0; k < sg.chunks.size(); ++k) {
+        EXPECT_EQ(sg.chunks[k].queue, k % 2);
+        EXPECT_EQ(sg.chunks[k].targetRow,
+                  uint32_t((k % 2) * 960));
+    }
+    EXPECT_EQ(sg.streamImage.size() % 4096, 0u);
+}
+
+TEST(GclPlanning, LayoutPadsMatchDirectConsumers)
+{
+    // Each tensor materializes exactly its direct consumers' conv
+    // padding; downstream layout padding is absorbed as a (safe)
+    // negative gather delta instead of escalating through the chain.
+    Rng rng(7);
+    GraphBuilder gb("pads");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 8, 8, 16}, DType::UInt8, qp);
+    TensorId a = qconv(gb, rng, "a", x, 16, 3, 1, 1, ActFn::None);
+    TensorId b = qconv(gb, rng, "b", a, 16, 5, 1, 2, ActFn::None);
+    gb.output(b);
+    Graph g = gb.take();
+
+    Loadable ld = compile(std::move(g));
+    const CompiledSubgraph &sg = ld.subgraphs[0];
+    TensorId x_id = ld.graph.inputs()[0];
+    EXPECT_EQ(sg.layouts.at(x_id).padLeft, 1);
+    EXPECT_EQ(sg.layouts.at(x_id).padTop, 1);
+    // The mid tensor materializes its 5x5 consumer's pad 2 (pad 2
+    // also disqualifies it from y-packing).
+    TensorId mid = ld.graph.nodes()[0].outputs[0];
+    EXPECT_EQ(sg.layouts.at(mid).padLeft, 2);
+    EXPECT_FALSE(sg.layouts.at(mid).packed());
+    // The final 8-wide output has no consumers and y-packs (uniform
+    // pad 1 in packed rows).
+    TensorId out = ld.graph.nodes()[1].outputs[0];
+    EXPECT_TRUE(sg.layouts.at(out).packed());
+    EXPECT_EQ(sg.layouts.at(out).padLeft, 1);
+}
+
+TEST(GclPlanning, DataRamReuseAcrossLiveness)
+{
+    // A long chain must reuse rows: peak usage well below the sum of
+    // all tensors.
+    Rng rng(8);
+    GraphBuilder gb("reuse");
+    QuantParams qp = actQp();
+    TensorId x = gb.input("x", Shape{1, 16, 16, 64}, DType::UInt8, qp);
+    TensorId t = x;
+    int64_t total_rows = 0;
+    for (int i = 0; i < 8; ++i)
+        t = qconv(gb, rng, "c" + std::to_string(i), t, 64, 3, 1, 1,
+                  ActFn::Relu);
+    gb.output(t);
+    Graph g = gb.take();
+
+    Loadable ld = compile(std::move(g));
+    const CompiledSubgraph &sg = ld.subgraphs[0];
+    for (const auto &kv : sg.layouts)
+        total_rows += kv.second.rows();
+    // dataRowsUsed includes the fixed 64-row mask table.
+    EXPECT_LT(sg.dataRowsUsed - MaskTable::kRows, total_rows / 2);
+}
+
+} // namespace
+} // namespace ncore

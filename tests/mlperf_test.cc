@@ -1,0 +1,111 @@
+/**
+ * @file
+ * MLPerf harness tests: SingleStream percentile semantics, Offline
+ * bookkeeping, and the multicore batching pipeline model (paper VI-C)
+ * — saturation behavior, core-count math against the paper's numbers,
+ * and the expected/observed relationship of Figs 13/14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mlperf/loadgen.h"
+#include "mlperf/pipeline.h"
+
+namespace ncore {
+namespace {
+
+TEST(Loadgen, SingleStreamPercentilesOrdered)
+{
+    SingleStreamResult r = runSingleStream(
+        [](int q) { return 1e-3 + (q % 10) * 1e-4; }, 500);
+    EXPECT_EQ(r.queries, 500);
+    EXPECT_LE(r.p50, r.p90);
+    EXPECT_LE(r.p90, r.p99);
+    EXPECT_GT(r.p50, 1e-3);
+    EXPECT_LT(r.p99, 2.2e-3);
+}
+
+TEST(Loadgen, JitterIsOneSidedAndBounded)
+{
+    // Constant SUT: all variation comes from the modeled run-manager
+    // jitter, which only ever lengthens a query.
+    SingleStreamResult r =
+        runSingleStream([](int) { return 1e-3; }, 200, 0.05);
+    EXPECT_GE(r.p50, 1e-3);
+    EXPECT_LE(r.p99, 1e-3 * 1.051);
+}
+
+TEST(Loadgen, OfflineThroughputBookkeeping)
+{
+    OfflineResult r = runOffline(2000.0, 24576);
+    EXPECT_DOUBLE_EQ(r.ips, 2000.0);
+    EXPECT_NEAR(r.seconds, 12.288, 1e-9);
+}
+
+/** The paper's own Table IX numbers drive the pipeline model. */
+WorkloadProfile
+paperProfile(double ncore_ms, double x86_ms)
+{
+    WorkloadProfile p;
+    p.ncoreSeconds = ncore_ms * 1e-3;
+    p.x86Seconds = x86_ms * 1e-3;
+    p.unhiddenSeconds = 0;
+    return p;
+}
+
+TEST(Pipeline, SaturationCoreCountsMatchPaper)
+{
+    // Paper VI-C: "we would expect to need only two x86 cores ...
+    // ResNet-50 ... MobileNet-V1 would need four ... SSD-MobileNet-V1
+    // would need five."
+    EXPECT_EQ(coresToSaturate(paperProfile(0.71, 0.34)), 2);
+    EXPECT_EQ(coresToSaturate(paperProfile(0.11, 0.22)), 4);
+    EXPECT_EQ(coresToSaturate(paperProfile(0.36, 1.18)), 5);
+}
+
+TEST(Pipeline, ExpectedIpsSaturatesAtNcoreRate)
+{
+    WorkloadProfile p = paperProfile(0.71, 0.34);
+    double max_rate = 1.0 / p.ncoreSeconds;
+    EXPECT_LT(expectedIps(p, 1), max_rate + 1e-9);
+    for (int c = 2; c <= 8; ++c)
+        EXPECT_NEAR(expectedIps(p, c), max_rate, 1.0);
+    // Monotone non-decreasing in cores.
+    for (int c = 1; c < 8; ++c)
+        EXPECT_LE(expectedIps(p, c), expectedIps(p, c + 1) + 1e-9);
+}
+
+TEST(Pipeline, ObservedNeverExceedsExpected)
+{
+    WorkloadProfile p = paperProfile(0.11, 0.22);
+    p.unhiddenSeconds = 0.3 * p.x86Seconds;
+    for (int c = 1; c <= 8; ++c)
+        EXPECT_LE(observedIps(p, c), expectedIps(p, c) + 1e-9);
+}
+
+TEST(Pipeline, NoBatchingDegeneratesToSingleBatch)
+{
+    WorkloadProfile p = paperProfile(0.36, 1.18);
+    p.batchingSupported = false;
+    double single = 1.0 / singleStreamSeconds(p);
+    for (int c = 1; c <= 8; ++c)
+        EXPECT_DOUBLE_EQ(observedIps(p, c), single);
+    // The paper's SSD numbers: 651.89 IPS vs 1/1.54ms = 649 IPS.
+    EXPECT_NEAR(single, 649.3, 1.0);
+}
+
+TEST(Pipeline, PaperAsymptotesReproduceWithCalibratedUnhidden)
+{
+    // With the global 30% unhidden fraction, the paper's Table IX
+    // components land near its observed Offline asymptotes.
+    WorkloadProfile mb = paperProfile(0.11, 0.22);
+    mb.unhiddenSeconds = 0.3 * mb.x86Seconds;
+    EXPECT_NEAR(observedIps(mb, 8), 6042.0, 500.0);
+
+    WorkloadProfile rn = paperProfile(0.71, 0.34);
+    rn.unhiddenSeconds = 0.3 * rn.x86Seconds;
+    EXPECT_NEAR(observedIps(rn, 8), 1218.0, 80.0);
+}
+
+} // namespace
+} // namespace ncore

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Model zoo tests: Table V characteristics (MACs, weights,
+ * MACs/weight) for all four benchmark networks, compile-time planning
+ * properties the paper calls out (MobileNet weight promotion, ResNet
+ * pad fusion, SSD's x86-resident NMS tail), and a full MobileNet-V1
+ * end-to-end Ncore-vs-reference inference.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gcl/compiler.h"
+#include "models/gnmt.h"
+#include "models/zoo.h"
+#include "runtime/delegate.h"
+#include "runtime/driver.h"
+#include "x86/reference.h"
+
+namespace ncore {
+namespace {
+
+double
+gmacs(const Graph &g)
+{
+    return double(g.totalMacs()) / 1e9;
+}
+
+double
+mweights(const Graph &g)
+{
+    return double(g.totalWeights()) / 1e6;
+}
+
+TEST(ModelCharacteristics, MobileNetV1MatchesTableV)
+{
+    Graph g = buildMobileNetV1();
+    EXPECT_NEAR(gmacs(g), 0.57, 0.03);
+    EXPECT_NEAR(mweights(g), 4.2, 0.15);
+    double mpw = double(g.totalMacs()) / double(g.totalWeights());
+    EXPECT_NEAR(mpw, 136, 8);
+}
+
+TEST(ModelCharacteristics, ResNet50MatchesTableV)
+{
+    Graph g = buildResNet50V15();
+    EXPECT_NEAR(gmacs(g), 4.1, 0.2);
+    EXPECT_NEAR(mweights(g), 26.0, 1.0);
+    double mpw = double(g.totalMacs()) / double(g.totalWeights());
+    EXPECT_NEAR(mpw, 158, 10);
+}
+
+TEST(ModelCharacteristics, SsdMobileNetMatchesTableV)
+{
+    Graph g = buildSsdMobileNetV1();
+    EXPECT_NEAR(gmacs(g), 1.2, 0.12);
+    EXPECT_NEAR(mweights(g), 6.8, 0.5);
+    double mpw = double(g.totalMacs()) / double(g.totalWeights());
+    EXPECT_NEAR(mpw, 176, 20);
+}
+
+TEST(ModelCharacteristics, GnmtMatchesTableV)
+{
+    Gnmt gnmt;
+    EXPECT_NEAR(double(gnmt.weightCount()) / 1e6, 131.0, 3.0);
+    double g = double(gnmt.macCount(25, 25)) / 1e9;
+    // The paper reports 3.9 GMACs at 25-word sentences; our
+    // reconstruction (4+4 layers, beam 2) lands within ~15%.
+    EXPECT_NEAR(g, 3.9, 0.6);
+    double mpw = double(gnmt.macCount(25, 25)) /
+                 double(gnmt.weightCount());
+    EXPECT_NEAR(mpw, 30, 5);
+}
+
+TEST(ModelCompile, MobileNetWeightsPromotedToPersistent)
+{
+    // Paper V-B: "In the case of MobileNetV1, the GCL determines that
+    // all the model's weights fit in on-chip SRAM, and promotes the
+    // weight buffers to become persistent."
+    Loadable ld = compile(buildMobileNetV1());
+    ASSERT_EQ(ld.subgraphs.size(), 1u);
+    EXPECT_TRUE(ld.subgraphs[0].weightsPersistent);
+    // Everything except the final softmax runs on Ncore.
+    int x86_nodes = 0;
+    for (int a : ld.nodeAssignment)
+        if (a < 0)
+            ++x86_nodes;
+    EXPECT_EQ(x86_nodes, 1);
+}
+
+TEST(ModelCompile, ResNetPadsFusedAndWeightsStreamed)
+{
+    Loadable ld = compile(buildResNet50V15());
+    for (const Node &n : ld.graph.nodes())
+        EXPECT_NE(n.kind, OpKind::Pad) << "pad not fused: " << n.name;
+    ASSERT_EQ(ld.subgraphs.size(), 1u);
+    EXPECT_FALSE(ld.subgraphs[0].weightsPersistent);
+    EXPECT_GT(ld.subgraphs[0].chunks.size(), 40u);
+    // Ping-pong buffers alternate.
+    for (size_t k = 0; k < ld.subgraphs[0].chunks.size(); ++k)
+        EXPECT_EQ(ld.subgraphs[0].chunks[k].queue, k % 2);
+}
+
+TEST(ModelCompile, SsdUsesStemLayoutAndX86Nms)
+{
+    Loadable ld = compile(buildSsdMobileNetV1());
+    ASSERT_EQ(ld.subgraphs.size(), 1u);
+    // The GroupedRf stem layout keeps even the 300x300 input fully
+    // resident (no banded staging needed).
+    EXPECT_TRUE(ld.subgraphs[0].inputBands.empty());
+    TensorId in0 = ld.graph.inputs()[0];
+    EXPECT_EQ(ld.subgraphs[0].layouts.at(in0).kind,
+              LayoutKind::GroupedRf);
+    bool nms_on_x86 = false;
+    for (size_t i = 0; i < ld.graph.nodes().size(); ++i)
+        if (ld.graph.nodes()[i].kind == OpKind::NonMaxSuppression)
+            nms_on_x86 = ld.nodeAssignment[i] < 0;
+    EXPECT_TRUE(nms_on_x86);
+    // All convs (backbone + extras + heads) on Ncore.
+    for (size_t i = 0; i < ld.graph.nodes().size(); ++i) {
+        OpKind k = ld.graph.nodes()[i].kind;
+        if (k == OpKind::Conv2D || k == OpKind::DepthwiseConv2D)
+            EXPECT_GE(ld.nodeAssignment[i], 0)
+                << ld.graph.nodes()[i].name;
+    }
+}
+
+TEST(ModelEndToEnd, MobileNetNcoreMatchesReference)
+{
+    Graph g = buildMobileNetV1();
+    Loadable ld = compile(std::move(g));
+
+    Tensor x(Shape{1, 224, 224, 3}, DType::UInt8,
+             ld.graph.tensor(ld.graph.inputs()[0]).quant);
+    Rng rng(123);
+    x.fillRandom(rng);
+
+    Tensor want = ReferenceExecutor(ld.graph).run({x})[0];
+
+    Machine machine(chaNcoreConfig(), chaSocConfig());
+    NcoreDriver driver(machine);
+    driver.powerUp();
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+    DelegateExecutor exec(rt, X86CostModel{});
+    InferenceResult res = exec.infer({x});
+
+    EXPECT_EQ(maxAbsDiff(res.outputs[0], want), 0.0f);
+
+    // Sanity on the measured compute: MobileNet is 0.57 GMACs; with
+    // tiling overheads the machine executes somewhat more lane-MACs.
+    EXPECT_GT(res.timing.ncoreMacs, 550ull * 1000 * 1000);
+    EXPECT_GT(res.timing.ncoreCycles, 100000u);
+}
+
+TEST(ModelGnmt, TranslateIsDeterministic)
+{
+    Gnmt gnmt;
+    std::vector<int> src = {5, 99, 1234, 7};
+    auto a = gnmt.translate(src, 4);
+    auto b = gnmt.translate(src, 4);
+    EXPECT_EQ(a, b);
+    EXPECT_FALSE(a.empty());
+    for (int tok : a) {
+        EXPECT_GE(tok, 0);
+        EXPECT_LT(tok, 22016);
+    }
+}
+
+TEST(ModelGnmt, EncoderCellIsBounded)
+{
+    Gnmt gnmt;
+    std::vector<float> x(1024, 0.5f), h(1024, 0.0f), c(1024, 0.0f);
+    gnmt.encCellReference(0, x, h, c);
+    for (float v : h) {
+        EXPECT_LE(std::fabs(v), 1.0f); // h = o * tanh(c) is in [-1,1].
+    }
+}
+
+TEST(ModelGnmt, NcoreRunStreamsWeights)
+{
+    Gnmt gnmt;
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    Gnmt::RunStats stats = gnmt.runOnNcore(m, 2, 1);
+
+    EXPECT_GT(stats.cycles, 100000u);
+    EXPECT_GT(stats.x86Seconds, 0.0);
+    // MACs executed on the machine at least match the analytic count
+    // (lane padding only adds).
+    EXPECT_GE(stats.macOps + 4096, uint64_t(gnmt.macCount(2, 1)) / 2);
+    // The weight traffic dominates: at least the encoder+decoder
+    // matrices crossed the DMA once.
+    EXPECT_GT(stats.dmaBytes, 100ull << 20);
+}
+
+} // namespace
+} // namespace ncore

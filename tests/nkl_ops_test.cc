@@ -1,0 +1,473 @@
+/**
+ * @file
+ * NKL non-conv kernels vs the x86 reference: pooling (max/avg, strided),
+ * quantized residual add, LUT activations, fully-connected, and bf16
+ * matmul. Also checks the edge-patch pass by chaining two kernels.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/lut.h"
+#include "gir/graph.h"
+#include "nkl_test_util.h"
+#include "x86/reference.h"
+
+namespace ncore {
+namespace {
+
+class NklOpsTest : public ::testing::Test
+{
+  protected:
+    NklOpsTest() : m(chaNcoreConfig(), chaSocConfig())
+    {
+        masks.baseRow = 0;
+        testutil::writeMaskTable(m, masks);
+    }
+
+    Machine m;
+    MaskTable masks;
+};
+
+TEST_F(NklOpsTest, MaxPoolStride2MatchesReference)
+{
+    const int h = 12, w = 12, c = 64;
+    QuantParams qp = chooseAsymmetricUint8(-1.0f, 3.0f);
+    Rng rng(31);
+
+    GraphBuilder gb("pool");
+    TensorId x = gb.input("x", Shape{1, h, w, c}, DType::UInt8, qp);
+    TensorId y = gb.maxPool2d("mp", x, 3, 3, 2, 2, 1, 1, 1, 1);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor x_val(Shape{1, h, w, c}, DType::UInt8, qp);
+    x_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({x_val})[0];
+
+    TensorLayout li =
+        interleavedLayout(x_val.shape(), 1, 1, 1, 1,
+                          uint8_t(qp.zeroPoint));
+    li.baseRow = 64;
+    TensorLayout lo =
+        interleavedLayout(want.shape(), 0, 0, 0, 0,
+                          uint8_t(qp.zeroPoint));
+    lo.baseRow = li.baseRow + li.rows() + 4;
+    testutil::loadInterleaved(m, x_val, li);
+
+    auto init = maxPoolInitRow();
+    m.hostWriteRow(true, 0, init.data());
+
+    // Max pools reduce raw codes (padding staged as the minimum code).
+    RequantEntry e;
+    e.rq = computeRequant(1.0f, 0);
+    e.outType = DType::UInt8;
+    e.actMin = 0;
+    e.actMax = 255;
+    m.writeRequantEntry(2, e);
+
+    PoolKernel p;
+    p.in = li;
+    p.out = lo;
+    p.kh = 3;
+    p.kw = 3;
+    p.strideH = 2;
+    p.strideW = 2;
+    p.padTop = 1;
+    p.padLeft = 1;
+    p.c = c;
+    p.isMax = true;
+    p.weightBase = 0;
+    p.rqIndex = 2;
+    p.dataZero = uint8_t(qp.zeroPoint);
+    p.masks = masks;
+    p.scratchBase = lo.baseRow + lo.rows() + 4;
+    ASSERT_LE(p.scratchBase + li.rows(), 2048);
+
+    ProgramBuilder pb;
+    emitPool(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(want.shape(), DType::UInt8, qp);
+    testutil::readInterleaved(m, got, lo);
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(NklOpsTest, GlobalAvgPoolMatchesReference)
+{
+    const int h = 7, w = 7, c = 256;
+    QuantParams qp = chooseAsymmetricUint8(-2.0f, 2.0f);
+    Rng rng(32);
+
+    GraphBuilder gb("avg");
+    TensorId x = gb.input("x", Shape{1, h, w, c}, DType::UInt8, qp);
+    TensorId y = gb.avgPool2d("ap", x, 7, 7, 1, 1, 0, 0, 0, 0);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor x_val(Shape{1, h, w, c}, DType::UInt8, qp);
+    x_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({x_val})[0];
+
+    TensorLayout li = interleavedLayout(x_val.shape(), 0, 0, 0, 0,
+                                        uint8_t(qp.zeroPoint));
+    li.baseRow = 64;
+    TensorLayout lo = interleavedLayout(want.shape(), 0, 0, 0, 0,
+                                        uint8_t(qp.zeroPoint));
+    lo.baseRow = li.baseRow + li.rows() + 4;
+    testutil::loadInterleaved(m, x_val, li);
+
+    RequantEntry e;
+    e.rq = computeRequant(1.0f / 49.0f, qp.zeroPoint);
+    e.outType = DType::UInt8;
+    e.actMin = 0;
+    e.actMax = 255;
+    m.writeRequantEntry(3, e);
+
+    PoolKernel p;
+    p.in = li;
+    p.out = lo;
+    p.kh = 7;
+    p.kw = 7;
+    p.strideH = 1;
+    p.strideW = 1;
+    p.c = c;
+    p.isMax = false;
+    p.rqIndex = 3;
+    p.dataZero = uint8_t(qp.zeroPoint);
+    p.masks = masks;
+
+    ProgramBuilder pb;
+    emitPool(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(want.shape(), DType::UInt8, qp);
+    testutil::readInterleaved(m, got, lo);
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(NklOpsTest, ResidualAddMatchesReference)
+{
+    const int h = 9, w = 70, c = 96;
+    QuantParams a_qp = chooseAsymmetricUint8(-1.0f, 1.0f);
+    QuantParams b_qp = chooseAsymmetricUint8(-2.0f, 2.0f);
+    QuantParams o_qp = chooseAsymmetricUint8(-3.0f, 3.0f);
+    Rng rng(33);
+
+    GraphBuilder gb("addg");
+    TensorId a = gb.input("a", Shape{1, h, w, c}, DType::UInt8, a_qp);
+    TensorId b = gb.input("b", Shape{1, h, w, c}, DType::UInt8, b_qp);
+    TensorId y = gb.add("add", a, b, ActFn::Relu, o_qp);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor a_val(Shape{1, h, w, c}, DType::UInt8, a_qp);
+    Tensor b_val(Shape{1, h, w, c}, DType::UInt8, b_qp);
+    a_val.fillRandom(rng);
+    b_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({a_val, b_val})[0];
+
+    TensorLayout la = interleavedLayout(a_val.shape(), 0, 0, 0, 0,
+                                        uint8_t(a_qp.zeroPoint));
+    la.baseRow = 64;
+    TensorLayout lb = la;
+    lb.zeroByte = uint8_t(b_qp.zeroPoint);
+    lb.baseRow = la.baseRow + la.rows();
+    TensorLayout lo = la;
+    lo.zeroByte = uint8_t(o_qp.zeroPoint);
+    lo.baseRow = lb.baseRow + lb.rows();
+    testutil::loadInterleaved(m, a_val, la);
+    testutil::loadInterleaved(m, b_val, lb);
+
+    AddQuantPlan plan =
+        makeAddPlan(a_qp, b_qp, o_qp, DType::UInt8, ActFn::Relu);
+    m.writeRequantEntry(4, plan.entry);
+
+    AddKernel p;
+    p.a = la;
+    p.b = lb;
+    p.out = lo;
+    p.ka = plan.ka;
+    p.kb = plan.kb;
+    p.zeroA = uint8_t(a_qp.zeroPoint);
+    p.zeroB = uint8_t(b_qp.zeroPoint);
+    p.rqIndex = 4;
+
+    ProgramBuilder pb;
+    emitAdd(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(want.shape(), DType::UInt8, o_qp);
+    testutil::readInterleaved(m, got, lo);
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(NklOpsTest, SigmoidLutMatchesReference)
+{
+    const int h = 5, w = 30, c = 32;
+    QuantParams in_qp = chooseAsymmetricUint8(-6.0f, 6.0f);
+    QuantParams out_qp{1.0f / 256.0f, 0};
+    Rng rng(34);
+
+    GraphBuilder gb("sig");
+    TensorId x = gb.input("x", Shape{1, h, w, c}, DType::UInt8, in_qp);
+    TensorId y = gb.sigmoid("s", x);
+    gb.output(y);
+    Graph g = gb.take();
+    g.tensor(y).quant = out_qp;
+
+    Tensor x_val(Shape{1, h, w, c}, DType::UInt8, in_qp);
+    x_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({x_val})[0];
+
+    TensorLayout li = interleavedLayout(x_val.shape(), 0, 0, 0, 0,
+                                        uint8_t(in_qp.zeroPoint));
+    li.baseRow = 64;
+    TensorLayout lo = li;
+    lo.zeroByte = uint8_t(out_qp.zeroPoint);
+    lo.baseRow = li.baseRow + li.rows();
+    testutil::loadInterleaved(m, x_val, li);
+
+    // Identity requant + sigmoid LUT, exactly as the GCL programs it.
+    RequantEntry e;
+    e.rq = computeRequant(1.0f, 0);
+    e.outType = DType::UInt8;
+    e.actMin = 0;
+    e.actMax = 255;
+    m.writeRequantEntry(5, e);
+    m.writeLut(0, buildActLut(ActFn::Sigmoid, in_qp, out_qp,
+                              DType::UInt8));
+
+    ActLutKernel p;
+    p.in = li;
+    p.out = lo;
+    p.act = ActFn::Sigmoid;
+    p.rqIndex = 5;
+
+    ProgramBuilder pb;
+    emitActLut(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(want.shape(), DType::UInt8, out_qp);
+    testutil::readInterleaved(m, got, lo);
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(NklOpsTest, FullyConnectedMatchesReference)
+{
+    const int cin = 1024, cout = 1000;
+    QuantParams in_qp = chooseAsymmetricUint8(-4.0f, 4.0f);
+    QuantParams w_qp{0.01f, 120};
+    QuantParams out_qp = chooseAsymmetricUint8(-10.0f, 10.0f);
+    Rng rng(35);
+
+    GraphBuilder gb("fc");
+    TensorId x = gb.input("x", Shape{1, cin}, DType::UInt8, in_qp);
+    Tensor w_val(Shape{cout, cin}, DType::UInt8, w_qp);
+    w_val.fillRandom(rng);
+    TensorId w = gb.constant("w", w_val, w_qp);
+    Tensor b_val(Shape{cout}, DType::Int32);
+    for (int i = 0; i < cout; ++i)
+        b_val.setIntAt(i, int32_t(rng.nextRange(-5000, 5000)));
+    TensorId b = gb.constant("b", b_val);
+    TensorId y = gb.fullyConnected("fc", x, w, b, ActFn::None, out_qp);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor x_val(Shape{1, cin}, DType::UInt8, in_qp);
+    x_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({x_val})[0];
+
+    TensorLayout li = flatLayout(cin, false);
+    li.zeroByte = uint8_t(in_qp.zeroPoint);
+    li.baseRow = 64;
+    TensorLayout lo = flatLayout(cout, false);
+    lo.zeroByte = uint8_t(out_qp.zeroPoint);
+    lo.baseRow = li.baseRow + li.rows();
+    testutil::loadFlat(m, x_val, li);
+
+    auto img = packFcWeights(w_val, &b_val, uint8_t(w_qp.zeroPoint));
+    testutil::loadWeights(m, img, 0);
+
+    float mreal = in_qp.scale * w_qp.scale / out_qp.scale;
+    m.writeRequantEntry(6, makeRequantEntry(mreal, out_qp, DType::UInt8,
+                                            ActFn::None));
+
+    FcKernel p;
+    p.in = li;
+    p.out = lo;
+    p.cin = cin;
+    p.cout = cout;
+    p.weightBase = 0;
+    p.rqIndex = 6;
+    p.dataZero = uint8_t(in_qp.zeroPoint);
+    p.weightZero = uint8_t(w_qp.zeroPoint);
+
+    ProgramBuilder pb;
+    emitFullyConnected(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(Shape{1, cout}, DType::UInt8, out_qp);
+    testutil::readFlat(m, got, lo);
+    for (int64_t i = 0; i < cout; ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(NklOpsTest, MatmulBf16MatchesReferenceWithinBf16Tolerance)
+{
+    const int k = 512, n = 2000;
+    Rng rng(36);
+
+    GraphBuilder gb("mm");
+    TensorId a = gb.input("a", Shape{1, k}, DType::BFloat16);
+    Tensor w_val(Shape{k, n}, DType::BFloat16);
+    w_val.fillGaussian(rng, 0.05f);
+    TensorId w = gb.constant("w", w_val);
+    TensorId y = gb.matmul("mm", a, w, false);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor a_val(Shape{1, k}, DType::BFloat16);
+    a_val.fillGaussian(rng, 0.5f);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({a_val})[0];
+
+    TensorLayout li = flatLayout(k, true);
+    li.baseRow = 64;
+    TensorLayout lo = flatLayout(n, true);
+    lo.baseRow = li.baseRow + li.rows();
+    testutil::loadFlat(m, a_val, li);
+
+    auto img = packMatmulBf16Weights(w_val);
+    testutil::loadWeights(m, img, 0);
+
+    MatmulBf16Kernel p;
+    p.in = li;
+    p.out = lo;
+    p.k = k;
+    p.n = n;
+    p.weightBase = 0;
+
+    ProgramBuilder pb;
+    emitMatmulBf16(pb, p);
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(Shape{1, n}, DType::BFloat16, {});
+    testutil::readFlat(m, got, lo);
+    for (int64_t i = 0; i < n; ++i) {
+        float fw = want.floatAt(i);
+        float fg = got.floatAt(i);
+        ASSERT_NEAR(fg, fw, std::fabs(fw) * 0.02f + 0.02f) << i;
+    }
+}
+
+TEST_F(NklOpsTest, ChainedConvsExerciseHaloPatch)
+{
+    // Two chained 3x3 convolutions across a 3-tile-wide tensor: the
+    // second conv consumes the first's halo lanes, so a bit-exact match
+    // proves the edge-patch pass writes correct halos and pad lanes.
+    const int h = 6, w = 150, c = 64;
+    QuantParams qp0 = chooseAsymmetricUint8(-1.0f, 1.0f);
+    QuantParams w_qp{0.03f, 128};
+    QuantParams qp1 = chooseAsymmetricUint8(-2.0f, 2.0f);
+    QuantParams qp2 = chooseAsymmetricUint8(-4.0f, 4.0f);
+    Rng rng(37);
+
+    GraphBuilder gb("chain");
+    TensorId x = gb.input("x", Shape{1, h, w, c}, DType::UInt8, qp0);
+    Tensor w1(Shape{c, 3, 3, c}, DType::UInt8, w_qp);
+    w1.fillRandom(rng);
+    Tensor w2(Shape{c, 3, 3, c}, DType::UInt8, w_qp);
+    w2.fillRandom(rng);
+    TensorId t1 = gb.conv2d("c1", x, gb.constant("w1", w1, w_qp),
+                            kNoTensor, 1, 1, 1, 1, 1, 1, ActFn::Relu,
+                            qp1);
+    TensorId t2 = gb.conv2d("c2", t1, gb.constant("w2", w2, w_qp),
+                            kNoTensor, 1, 1, 1, 1, 1, 1, ActFn::None,
+                            qp2);
+    gb.output(t2);
+    Graph g = gb.take();
+
+    Tensor x_val(Shape{1, h, w, c}, DType::UInt8, qp0);
+    x_val.fillRandom(rng);
+    ReferenceExecutor ref(g);
+    Tensor want = ref.run({x_val})[0];
+
+    // The input's materialized left pad covers conv1's pad (1) plus
+    // the layout pad of conv1's output (1) — the layout-propagation
+    // rule the GCL implements.
+    TensorLayout l0 = interleavedLayout(x_val.shape(), 1, 1, 2, 2,
+                                        uint8_t(qp0.zeroPoint));
+    l0.baseRow = 64;
+    TensorLayout l1 =
+        interleavedLayout(g.tensor(t1).shape, 1, 1, 1, 1,
+                          uint8_t(qp1.zeroPoint));
+    l1.baseRow = l0.baseRow + l0.rows() + 2;
+    TensorLayout l2 =
+        interleavedLayout(g.tensor(t2).shape, 0, 0, 0, 0,
+                          uint8_t(qp2.zeroPoint));
+    l2.baseRow = l1.baseRow + l1.rows() + 2;
+    ASSERT_LE(l2.baseRow + l2.rows(), 2048);
+    testutil::loadInterleaved(m, x_val, l0);
+
+    auto img1 = packConvWeights(w1, nullptr, uint8_t(w_qp.zeroPoint));
+    auto img2 = packConvWeights(w2, nullptr, uint8_t(w_qp.zeroPoint));
+    testutil::loadWeights(m, img1, 0);
+    testutil::loadWeights(m, img2, int(img1.size() / 4096));
+
+    m.writeRequantEntry(
+        1, makeRequantEntry(qp0.scale * w_qp.scale / qp1.scale, qp1,
+                            DType::UInt8, ActFn::Relu));
+    m.writeRequantEntry(
+        2, makeRequantEntry(qp1.scale * w_qp.scale / qp2.scale, qp2,
+                            DType::UInt8, ActFn::None));
+
+    ProgramBuilder pb;
+    ConvKernel k1;
+    k1.in = l0;
+    k1.out = l1;
+    k1.kh = k1.kw = 3;
+    k1.padTop = k1.padLeft = 1;
+    k1.cin = k1.cout = c;
+    k1.weightBase = 0;
+    k1.rqIndex = 1;
+    k1.dataZero = uint8_t(qp0.zeroPoint);
+    k1.weightZero = uint8_t(w_qp.zeroPoint);
+    k1.masks = masks;
+    emitConv(pb, k1);
+
+    ConvKernel k2 = k1;
+    k2.in = l1;
+    k2.out = l2;
+    k2.weightBase = int(img1.size() / 4096);
+    k2.rqIndex = 2;
+    k2.dataZero = uint8_t(qp1.zeroPoint);
+    emitConv(pb, k2);
+
+    ASSERT_EQ(testutil::runStreamed(m, pb.instructions()).reason,
+              StopReason::Halted);
+
+    Tensor got(want.shape(), DType::UInt8, qp2);
+    testutil::readInterleaved(m, got, l2);
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(got.intAt(i), want.intAt(i)) << i;
+}
+
+} // namespace
+} // namespace ncore

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * x86 reference executor tests: float-vs-quantized agreement on conv
+ * paths, NMS semantics (suppression, thresholds, ordering, padding),
+ * softmax normalization, concat rescaling, pad fill values, and the
+ * cost model's structural properties.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "x86/cost_model.h"
+#include "x86/reference.h"
+
+namespace ncore {
+namespace {
+
+TEST(Reference, QuantizedConvTracksFloatConv)
+{
+    // The same real-valued network computed in float and through the
+    // quantized path must agree within quantization noise.
+    Rng rng(5);
+    const int h = 8, w = 8, cin = 16, cout = 24;
+
+    Tensor wf(Shape{cout, 3, 3, cin}, DType::Float32);
+    wf.fillGaussian(rng, 0.1f);
+    Tensor xf(Shape{1, h, w, cin}, DType::Float32);
+    xf.fillGaussian(rng, 0.5f);
+
+    // Float graph.
+    GraphBuilder gf("float");
+    TensorId xfi = gf.input("x", xf.shape(), DType::Float32);
+    TensorId yf = gf.conv2d("c", xfi, gf.constant("w", wf), kNoTensor,
+                            1, 1, 1, 1, 1, 1, ActFn::Relu);
+    gf.output(yf);
+    Tensor want = ReferenceExecutor(gf.graph()).run({xf})[0];
+
+    // Quantized twin.
+    QuantParams in_qp = chooseAsymmetricUint8(-2.0f, 2.0f);
+    float wmax = 0;
+    for (int64_t i = 0; i < wf.numElements(); ++i)
+        wmax = std::max(wmax, std::fabs(wf.floatAt(i)));
+    QuantParams w_qp;
+    w_qp.scale = wmax / 127.0f;
+    w_qp.zeroPoint = 128;
+    QuantParams out_qp = chooseAsymmetricUint8(-4.0f, 4.0f);
+
+    Tensor wq(wf.shape(), DType::UInt8, w_qp);
+    for (int64_t i = 0; i < wf.numElements(); ++i)
+        wq.setIntAt(i, w_qp.quantize(wf.floatAt(i), DType::UInt8));
+    Tensor xq(xf.shape(), DType::UInt8, in_qp);
+    for (int64_t i = 0; i < xf.numElements(); ++i)
+        xq.setIntAt(i, in_qp.quantize(xf.floatAt(i), DType::UInt8));
+
+    GraphBuilder gq("quant");
+    TensorId xqi = gq.input("x", xq.shape(), DType::UInt8, in_qp);
+    TensorId yq = gq.conv2d("c", xqi, gq.constant("w", wq, w_qp),
+                            kNoTensor, 1, 1, 1, 1, 1, 1, ActFn::Relu,
+                            out_qp);
+    gq.output(yq);
+    Tensor got = ReferenceExecutor(gq.graph()).run({xq})[0];
+
+    double worst = 0;
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        worst = std::max(worst, std::fabs(double(got.realAt(i)) -
+                                          double(want.realAt(i))));
+    // Accumulated int8 quantization noise over 144 taps.
+    EXPECT_LT(worst, 0.15);
+}
+
+Tensor
+makeBoxes(const std::vector<std::array<float, 4>> &boxes)
+{
+    Tensor t(Shape{int64_t(boxes.size()), 4}, DType::Float32);
+    for (size_t i = 0; i < boxes.size(); ++i)
+        for (int j = 0; j < 4; ++j)
+            t.setFloatAt(int64_t(i) * 4 + j, boxes[i][size_t(j)]);
+    return t;
+}
+
+TEST(Reference, NmsSuppressesOverlapsAndRanks)
+{
+    // Three boxes: two heavily overlapping (keep the higher score),
+    // one separate; background class ignored.
+    GraphBuilder gb("nms");
+    TensorId b = gb.input("boxes", Shape{3, 4}, DType::Float32);
+    TensorId s = gb.input("scores", Shape{3, 3}, DType::Float32);
+    TensorId d = gb.nonMaxSuppression("nms", b, s, 0.5f, 0.2f, 10);
+    gb.output(d);
+    Graph g = gb.take();
+
+    Tensor boxes = makeBoxes({{0, 0, 1, 1}, {0, 0, 1, 0.95f},
+                              {2, 2, 3, 3}});
+    Tensor scores(Shape{3, 3}, DType::Float32);
+    // columns: background, class1, class2.
+    float vals[9] = {0.9f, 0.6f, 0.0f,  // box0
+                     0.9f, 0.8f, 0.0f,  // box1 (overlaps box0, higher)
+                     0.9f, 0.0f, 0.7f}; // box2 (separate, class2)
+    for (int i = 0; i < 9; ++i)
+        scores.setFloatAt(i, vals[i]);
+
+    Tensor dets = ReferenceExecutor(g).run({boxes, scores})[0];
+    // Expect: box1/class1 (0.8), box2/class2 (0.7), then padding.
+    EXPECT_FLOAT_EQ(dets.floatAt(0), 1.0f);  // class
+    EXPECT_FLOAT_EQ(dets.floatAt(1), 0.8f);  // score
+    EXPECT_FLOAT_EQ(dets.floatAt(6), 2.0f);
+    EXPECT_FLOAT_EQ(dets.floatAt(7), 0.7f);
+    EXPECT_FLOAT_EQ(dets.floatAt(12), -1.0f); // padding row
+}
+
+TEST(Reference, NmsScoreThresholdFilters)
+{
+    GraphBuilder gb("nms");
+    TensorId b = gb.input("boxes", Shape{2, 4}, DType::Float32);
+    TensorId s = gb.input("scores", Shape{2, 2}, DType::Float32);
+    TensorId d = gb.nonMaxSuppression("nms", b, s, 0.5f, 0.75f, 5);
+    gb.output(d);
+    Graph g = gb.take();
+
+    Tensor boxes = makeBoxes({{0, 0, 1, 1}, {2, 2, 3, 3}});
+    Tensor scores(Shape{2, 2}, DType::Float32);
+    scores.setFloatAt(0, 0.0f);
+    scores.setFloatAt(1, 0.9f); // above threshold
+    scores.setFloatAt(2, 0.0f);
+    scores.setFloatAt(3, 0.5f); // below threshold
+    Tensor dets = ReferenceExecutor(g).run({boxes, scores})[0];
+    EXPECT_FLOAT_EQ(dets.floatAt(1), 0.9f);
+    EXPECT_FLOAT_EQ(dets.floatAt(6), -1.0f);
+}
+
+TEST(Reference, SoftmaxNormalizes)
+{
+    GraphBuilder gb("sm");
+    TensorId x = gb.input("x", Shape{2, 5}, DType::Float32);
+    TensorId y = gb.softmax("sm", x, 1.0f);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Rng rng(9);
+    Tensor xv(Shape{2, 5}, DType::Float32);
+    xv.fillGaussian(rng, 2.0f);
+    Tensor out = ReferenceExecutor(g).run({xv})[0];
+    for (int r = 0; r < 2; ++r) {
+        float sum = 0;
+        for (int c = 0; c < 5; ++c) {
+            float v = out.floatAt(r * 5 + c);
+            EXPECT_GT(v, 0.0f);
+            sum += v;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+TEST(Reference, QuantizedPadFillsZeroPoint)
+{
+    QuantParams qp = chooseAsymmetricUint8(-1.0f, 3.0f);
+    GraphBuilder gb("pad");
+    TensorId x = gb.input("x", Shape{1, 2, 2, 1}, DType::UInt8, qp);
+    TensorId y = gb.pad("p", x, 1, 1, 1, 1);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor xv(Shape{1, 2, 2, 1}, DType::UInt8, qp);
+    for (int i = 0; i < 4; ++i)
+        xv.setIntAt(i, 200);
+    Tensor out = ReferenceExecutor(g).run({xv})[0];
+    EXPECT_EQ(out.intAt(0), qp.zeroPoint); // corner = pad
+    EXPECT_EQ(out.intAt(out.nhwc(0, 1, 1, 0)), 200);
+}
+
+TEST(Reference, ConcatRescalesMismatchedQuant)
+{
+    QuantParams a_qp{0.1f, 0};
+    QuantParams b_qp{0.2f, 10};
+    QuantParams o_qp{0.2f, 10};
+    GraphBuilder gb("cat");
+    TensorId a = gb.input("a", Shape{1, 2}, DType::UInt8, a_qp);
+    TensorId b = gb.input("b", Shape{1, 2}, DType::UInt8, b_qp);
+    TensorId y = gb.concat("cat", {a, b}, 1, o_qp);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor av(Shape{1, 2}, DType::UInt8, a_qp);
+    av.setIntAt(0, 100); // real 10.0
+    av.setIntAt(1, 50);  // real 5.0
+    Tensor bv(Shape{1, 2}, DType::UInt8, b_qp);
+    bv.setIntAt(0, 60); // real 10.0
+    bv.setIntAt(1, 35); // real 5.0
+    Tensor out = ReferenceExecutor(g).run({av, bv})[0];
+    EXPECT_NEAR(out.realAt(0), 10.0f, 0.11f);
+    EXPECT_NEAR(out.realAt(1), 5.0f, 0.11f);
+    EXPECT_EQ(out.intAt(2), 60); // same quant: verbatim copy
+    EXPECT_EQ(out.intAt(3), 35);
+}
+
+TEST(CostModel, MacBoundOpsScaleWithMacs)
+{
+    GraphBuilder gb("cm");
+    QuantParams qp = chooseAsymmetricUint8(-1, 1);
+    TensorId x = gb.input("x", Shape{1, 16, 16, 32}, DType::UInt8, qp);
+    Rng rng(3);
+    Tensor w1(Shape{32, 1, 1, 32}, DType::UInt8, QuantParams{0.02f, 128});
+    w1.fillRandom(rng);
+    Tensor w3(Shape{32, 3, 3, 32}, DType::UInt8, QuantParams{0.02f, 128});
+    w3.fillRandom(rng);
+    TensorId y1 = gb.conv2d("c1", x, gb.constant("w1", w1, {}), kNoTensor,
+                            1, 1, 0, 0, 0, 0, ActFn::None, qp);
+    gb.conv2d("c3", y1, gb.constant("w3", w3, {}), kNoTensor, 1, 1, 1,
+              1, 1, 1, ActFn::None, qp);
+    Graph &g = gb.graph();
+
+    X86CostModel cm;
+    double t1 = cm.nodeSeconds(g, g.nodes()[0]);
+    double t3 = cm.nodeSeconds(g, g.nodes()[1]);
+    EXPECT_NEAR(t3 / t1, 9.0, 0.01); // 3x3 = 9x the MACs of 1x1.
+}
+
+} // namespace
+} // namespace ncore

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * End-to-end runtime tests: driver gatekeeping, full compile-load-
+ * invoke flows through the delegate (persistent and streamed weights),
+ * bit-exact agreement with the pure-x86 reference execution, and the
+ * event-log based timing methodology.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "gcl/compiler.h"
+#include "runtime/delegate.h"
+#include "runtime/driver.h"
+#include "x86/reference.h"
+
+namespace ncore {
+namespace {
+
+QuantParams
+actQp(float lo = -2.0f, float hi = 2.0f)
+{
+    return chooseAsymmetricUint8(lo, hi);
+}
+
+TensorId
+qconv(GraphBuilder &gb, Rng &rng, const std::string &name, TensorId in,
+      int cout, int k, int stride, int pad, ActFn act)
+{
+    const GirTensor &x = gb.graph().tensor(in);
+    QuantParams w_qp{0.02f, 128};
+    Tensor w(Shape{cout, k, k, x.shape.dim(3)}, DType::UInt8, w_qp);
+    w.fillRandom(rng);
+    Tensor b(Shape{cout}, DType::Int32);
+    for (int i = 0; i < cout; ++i)
+        b.setIntAt(i, int32_t(rng.nextRange(-1000, 1000)));
+    return gb.conv2d(name, in, gb.constant(name + ":w", w, w_qp),
+                     gb.constant(name + ":b", b), stride, stride, pad,
+                     pad, pad, pad, act, actQp());
+}
+
+TensorId
+qdwconv(GraphBuilder &gb, Rng &rng, const std::string &name, TensorId in,
+        int k, int stride, int pad, ActFn act)
+{
+    const GirTensor &x = gb.graph().tensor(in);
+    QuantParams w_qp{0.015f, 130};
+    Tensor w(Shape{1, k, k, x.shape.dim(3)}, DType::UInt8, w_qp);
+    w.fillRandom(rng);
+    Tensor b(Shape{x.shape.dim(3)}, DType::Int32);
+    for (int64_t i = 0; i < x.shape.dim(3); ++i)
+        b.setIntAt(i, int32_t(rng.nextRange(-500, 500)));
+    return gb.depthwiseConv2d(
+        name, in, gb.constant(name + ":w", w, w_qp),
+        gb.constant(name + ":b", b), stride, stride, pad, pad, pad, pad,
+        act, actQp());
+}
+
+/** A small but representative network exercising every kernel type. */
+Graph
+buildTestNet(Rng &rng)
+{
+    GraphBuilder gb("testnet");
+    QuantParams in_qp = actQp(-1.0f, 1.0f);
+    TensorId x = gb.input("x", Shape{1, 16, 16, 16}, DType::UInt8,
+                          in_qp);
+    TensorId c1 = qconv(gb, rng, "c1", x, 64, 3, 1, 1, ActFn::Relu);
+    TensorId dw = qdwconv(gb, rng, "dw", c1, 3, 2, 1, ActFn::Relu6);
+    TensorId c2 = qconv(gb, rng, "c2", dw, 64, 1, 1, 0, ActFn::None);
+    TensorId sc = qconv(gb, rng, "sc", c1, 64, 1, 2, 0, ActFn::None);
+    // Residual add requires matching quant; the builder picks fresh
+    // qps so use add with explicit output qp.
+    TensorId sum = gb.add("sum", c2, sc, ActFn::Relu, actQp());
+    TensorId mp = gb.maxPool2d("mp", sum, 3, 3, 2, 2, 1, 1, 1, 1);
+    TensorId gap = gb.avgPool2d("gap", mp, 4, 4, 1, 1, 0, 0, 0, 0);
+    TensorId flat = gb.reshape("flat", gap, Shape{1, 64});
+    QuantParams fw_qp{0.01f, 125};
+    Tensor fw(Shape{40, 64}, DType::UInt8, fw_qp);
+    fw.fillRandom(rng);
+    Tensor fb(Shape{40}, DType::Int32);
+    for (int i = 0; i < 40; ++i)
+        fb.setIntAt(i, int32_t(rng.nextRange(-3000, 3000)));
+    TensorId fc = gb.fullyConnected("fc", flat,
+                                    gb.constant("fw", fw, fw_qp),
+                                    gb.constant("fb", fb), ActFn::None,
+                                    actQp(-8.0f, 8.0f));
+    TensorId sm = gb.softmax("sm", fc, 1.0f);
+    gb.output(sm);
+    return gb.take();
+}
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    RuntimeTest()
+        : machine(chaNcoreConfig(), chaSocConfig()), driver(machine)
+    {
+        driver.powerUp();
+    }
+
+    Machine machine;
+    NcoreDriver driver;
+};
+
+TEST_F(RuntimeTest, DriverEnumeratesAsCoprocessor)
+{
+    EXPECT_EQ(driver.identity().classCode, 0x0b4000u);
+    EXPECT_EQ(driver.identity().vendorId, 0x1106);
+}
+
+TEST_F(RuntimeTest, DriverSelfTestPasses)
+{
+    EXPECT_TRUE(driver.selfTest());
+}
+
+TEST_F(RuntimeTest, SingleOwnerEnforced)
+{
+    NcoreRuntime rt(driver);
+    EXPECT_DEATH(NcoreRuntime second(driver), "already owned");
+}
+
+TEST_F(RuntimeTest, EndToEndMatchesReference)
+{
+    Rng rng(42);
+    Graph g = buildTestNet(rng);
+    g.verify();
+
+    Tensor x(Shape{1, 16, 16, 16}, DType::UInt8, actQp(-1.0f, 1.0f));
+    Rng data_rng(7);
+    x.fillRandom(data_rng);
+
+    // Pure x86 execution on the optimized graph = golden.
+    Loadable ld = compile(std::move(g));
+    Tensor want = ReferenceExecutor(ld.graph).run({x})[0];
+
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+    DelegateExecutor exec(rt, X86CostModel{});
+    InferenceResult res = exec.infer({x});
+
+    ASSERT_EQ(res.outputs.size(), 1u);
+    // Softmax runs in float on x86 in both paths over identical
+    // quantized FC outputs, so results must agree exactly.
+    EXPECT_EQ(maxAbsDiff(res.outputs[0], want), 0.0f);
+
+    // Timing fields populated sensibly.
+    EXPECT_GT(res.timing.ncoreCycles, 0u);
+    EXPECT_GT(res.timing.ncoreMacs, 0u);
+    EXPECT_GT(res.timing.x86OpSeconds, 0.0);
+    EXPECT_GT(res.timing.layoutSeconds, 0.0);
+    EXPECT_LT(res.timing.total(), 1.0);
+}
+
+TEST_F(RuntimeTest, StreamedWeightsMatchPersistent)
+{
+    Rng rng(43);
+    Graph g1 = buildTestNet(rng);
+    Rng rng2(43);
+    Graph g2 = buildTestNet(rng2);
+
+    Tensor x(Shape{1, 16, 16, 16}, DType::UInt8, actQp(-1.0f, 1.0f));
+    Rng data_rng(8);
+    x.fillRandom(data_rng);
+
+    Loadable persistent = compile(std::move(g1));
+    CompileOptions stream_opts;
+    stream_opts.forceStreaming = true;
+    Loadable streamed = compile(std::move(g2), stream_opts);
+
+    ASSERT_TRUE(persistent.subgraphs[0].weightsPersistent);
+    ASSERT_FALSE(streamed.subgraphs[0].weightsPersistent);
+
+    Tensor out_p, out_s;
+    uint64_t dma_bytes = 0;
+    {
+        NcoreRuntime rt(driver);
+        rt.loadModel(persistent);
+        DelegateExecutor exec(rt, X86CostModel{});
+        out_p = exec.infer({x}).outputs[0];
+    }
+    {
+        NcoreRuntime rt(driver);
+        rt.loadModel(streamed);
+        DelegateExecutor exec(rt, X86CostModel{});
+        InferenceResult r = exec.infer({x});
+        out_s = r.outputs[0];
+        dma_bytes = r.timing.dmaBytes;
+    }
+
+    EXPECT_EQ(maxAbsDiff(out_p, out_s), 0.0f);
+    // Streamed weights really moved over DMA.
+    EXPECT_GT(dma_bytes,
+              streamed.subgraphs[0].streamImage.size() / 2);
+}
+
+TEST_F(RuntimeTest, EventLogBracketsSubgraph)
+{
+    Rng rng(44);
+    Graph g = buildTestNet(rng);
+    Loadable ld = compile(std::move(g));
+
+    Tensor x(Shape{1, 16, 16, 16}, DType::UInt8, actQp(-1.0f, 1.0f));
+    Rng data_rng(9);
+    x.fillRandom(data_rng);
+
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+    InvokeStats stats;
+    rt.invoke(0, {x}, &stats);
+
+    ASSERT_GE(stats.events.size(), 2u);
+    EXPECT_EQ(stats.events.front().tag, CompiledSubgraph::kStartTag);
+    EXPECT_EQ(stats.events.back().tag, CompiledSubgraph::kEndTag);
+    // Layer markers are strictly ordered in time.
+    for (size_t i = 1; i < stats.events.size(); ++i)
+        EXPECT_GE(stats.events[i].cycle, stats.events[i - 1].cycle);
+
+    // The event log lets the runtime attribute cycles per layer
+    // (the Table IX methodology): total bracketed time equals the
+    // invocation cycles minus host-side work.
+    uint64_t bracketed = stats.events.back().cycle -
+                         stats.events.front().cycle;
+    EXPECT_LE(bracketed, stats.cycles);
+    EXPECT_GT(bracketed, stats.cycles / 2);
+}
+
+TEST_F(RuntimeTest, BandedStemChainMatchesReference)
+{
+    // Regression case: a banded stem followed by packed/repacked
+    // layers and a padded max-pool + global average pool. This chain
+    // once exposed a stale circular-wrap address-register leak
+    // between kernels.
+    Rng rng(50);
+    GraphBuilder gb("bandedstem");
+    QuantParams in_qp = actQp(-1.0f, 1.0f);
+    TensorId x = gb.input("x", Shape{1, 16, 16, 16}, DType::UInt8,
+                          in_qp);
+    TensorId c1 = qconv(gb, rng, "c1", x, 64, 3, 1, 1, ActFn::Relu);
+    TensorId y = qdwconv(gb, rng, "dw", c1, 3, 2, 1, ActFn::Relu6);
+    y = qconv(gb, rng, "c2", y, 64, 1, 1, 0, ActFn::None);
+    TensorId sc = qconv(gb, rng, "sc", c1, 64, 1, 2, 0, ActFn::None);
+    y = gb.add("sum", y, sc, ActFn::Relu, actQp());
+    y = gb.maxPool2d("mp", y, 3, 3, 2, 2, 1, 1, 1, 1);
+    y = gb.avgPool2d("gap", y, 4, 4, 1, 1, 0, 0, 0, 0);
+    gb.output(y);
+    Graph g = gb.take();
+
+    Tensor xv(Shape{1, 16, 16, 16}, DType::UInt8, in_qp);
+    Rng dr(51);
+    xv.fillRandom(dr);
+
+    CompileOptions opts;
+    opts.bandingResidencyLimit = 4;
+    Loadable ld = compile(std::move(g), opts);
+    ASSERT_FALSE(ld.subgraphs[0].inputBands.empty());
+    Tensor want = ReferenceExecutor(ld.graph).run({xv})[0];
+
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+    DelegateExecutor exec(rt, X86CostModel{});
+    InferenceResult res = exec.infer({xv});
+    for (int64_t i = 0; i < want.numElements(); ++i)
+        ASSERT_EQ(res.outputs[0].intAt(i), want.intAt(i)) << i;
+}
+
+TEST_F(RuntimeTest, BandedInputStagingMatchesReference)
+{
+    // Force y-banded input staging on the small net: the host writes
+    // the input band by band, running a program segment after each.
+    Rng rng(46);
+    Graph g = buildTestNet(rng);
+    Tensor x(Shape{1, 16, 16, 16}, DType::UInt8, actQp(-1.0f, 1.0f));
+    Rng data_rng(11);
+    x.fillRandom(data_rng);
+
+    CompileOptions opts;
+    opts.bandingResidencyLimit = 4;
+    Loadable banded = compile(std::move(g), opts);
+    ASSERT_FALSE(banded.subgraphs[0].inputBands.empty());
+    ASSERT_GE(banded.subgraphs[0].inputBands[0].bandLayouts.size(),
+              2u);
+
+    Tensor want = ReferenceExecutor(banded.graph).run({x})[0];
+
+    NcoreRuntime rt(driver);
+    rt.loadModel(banded);
+    DelegateExecutor exec(rt, X86CostModel{});
+    InferenceResult res = exec.infer({x});
+
+    EXPECT_EQ(maxAbsDiff(res.outputs[0], want), 0.0f);
+}
+
+TEST_F(RuntimeTest, RepeatedInvocationsAreDeterministic)
+{
+    Rng rng(45);
+    Graph g = buildTestNet(rng);
+    Loadable ld = compile(std::move(g));
+
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+    DelegateExecutor exec(rt, X86CostModel{});
+
+    Tensor x(Shape{1, 16, 16, 16}, DType::UInt8, actQp(-1.0f, 1.0f));
+    Rng data_rng(10);
+    x.fillRandom(data_rng);
+
+    InferenceResult a = exec.infer({x});
+    InferenceResult b = exec.infer({x});
+    EXPECT_EQ(maxAbsDiff(a.outputs[0], b.outputs[0]), 0.0f);
+    EXPECT_EQ(a.timing.ncoreCycles, b.timing.ncoreCycles);
+}
+
+} // namespace
+} // namespace ncore
