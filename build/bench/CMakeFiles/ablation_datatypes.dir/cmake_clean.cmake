@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_datatypes.dir/ablation_datatypes.cc.o"
+  "CMakeFiles/ablation_datatypes.dir/ablation_datatypes.cc.o.d"
+  "ablation_datatypes"
+  "ablation_datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l3_dma.dir/ablation_l3_dma.cc.o"
+  "CMakeFiles/ablation_l3_dma.dir/ablation_l3_dma.cc.o.d"
+  "ablation_l3_dma"
+  "ablation_l3_dma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l3_dma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

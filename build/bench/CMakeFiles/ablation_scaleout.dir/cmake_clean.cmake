@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scaleout.dir/ablation_scaleout.cc.o"
+  "CMakeFiles/ablation_scaleout.dir/ablation_scaleout.cc.o.d"
+  "ablation_scaleout"
+  "ablation_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slices.dir/ablation_slices.cc.o"
+  "CMakeFiles/ablation_slices.dir/ablation_slices.cc.o.d"
+  "ablation_slices"
+  "ablation_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_expected_scaling.
+# This may be replaced when dependencies are built.

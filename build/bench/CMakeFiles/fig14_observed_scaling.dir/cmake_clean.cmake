@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_observed_scaling.dir/fig14_observed_scaling.cc.o"
+  "CMakeFiles/fig14_observed_scaling.dir/fig14_observed_scaling.cc.o.d"
+  "fig14_observed_scaling"
+  "fig14_observed_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_observed_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

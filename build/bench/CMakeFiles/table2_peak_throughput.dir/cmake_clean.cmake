@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_peak_throughput.dir/table2_peak_throughput.cc.o"
+  "CMakeFiles/table2_peak_throughput.dir/table2_peak_throughput.cc.o.d"
+  "table2_peak_throughput"
+  "table2_peak_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_peak_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_cns_uarch.dir/table3_cns_uarch.cc.o"
+  "CMakeFiles/table3_cns_uarch.dir/table3_cns_uarch.cc.o.d"
+  "table3_cns_uarch"
+  "table3_cns_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_cns_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

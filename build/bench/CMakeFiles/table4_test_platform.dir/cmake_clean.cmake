@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_test_platform.dir/table4_test_platform.cc.o"
+  "CMakeFiles/table4_test_platform.dir/table4_test_platform.cc.o.d"
+  "table4_test_platform"
+  "table4_test_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_test_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

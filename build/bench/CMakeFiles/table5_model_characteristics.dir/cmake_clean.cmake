@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_model_characteristics.dir/table5_model_characteristics.cc.o"
+  "CMakeFiles/table5_model_characteristics.dir/table5_model_characteristics.cc.o.d"
+  "table5_model_characteristics"
+  "table5_model_characteristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_model_characteristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

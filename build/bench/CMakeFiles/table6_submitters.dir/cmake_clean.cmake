@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_submitters.dir/table6_submitters.cc.o"
+  "CMakeFiles/table6_submitters.dir/table6_submitters.cc.o.d"
+  "table6_submitters"
+  "table6_submitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_submitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_fig11_latency.dir/table7_fig11_latency.cc.o"
+  "CMakeFiles/table7_fig11_latency.dir/table7_fig11_latency.cc.o.d"
+  "table7_fig11_latency"
+  "table7_fig11_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_fig11_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fig12_throughput.dir/table8_fig12_throughput.cc.o"
+  "CMakeFiles/table8_fig12_throughput.dir/table8_fig12_throughput.cc.o.d"
+  "table8_fig12_throughput"
+  "table8_fig12_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fig12_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

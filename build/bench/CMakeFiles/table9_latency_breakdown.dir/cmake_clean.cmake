@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_latency_breakdown.dir/table9_latency_breakdown.cc.o"
+  "CMakeFiles/table9_latency_breakdown.dir/table9_latency_breakdown.cc.o.d"
+  "table9_latency_breakdown"
+  "table9_latency_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_latency_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_trace.dir/debug_trace.cpp.o"
+  "CMakeFiles/debug_trace.dir/debug_trace.cpp.o.d"
+  "debug_trace"
+  "debug_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

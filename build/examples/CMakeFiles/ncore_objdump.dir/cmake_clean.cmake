@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_objdump.dir/ncore_objdump.cpp.o"
+  "CMakeFiles/ncore_objdump.dir/ncore_objdump.cpp.o.d"
+  "ncore_objdump"
+  "ncore_objdump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_objdump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translation.dir/translation.cpp.o"
+  "CMakeFiles/translation.dir/translation.cpp.o.d"
+  "translation"
+  "translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_analytics.dir/video_analytics.cpp.o"
+  "CMakeFiles/video_analytics.dir/video_analytics.cpp.o.d"
+  "video_analytics"
+  "video_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

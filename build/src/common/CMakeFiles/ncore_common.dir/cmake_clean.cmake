@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_common.dir/ecc.cc.o"
+  "CMakeFiles/ncore_common.dir/ecc.cc.o.d"
+  "CMakeFiles/ncore_common.dir/logging.cc.o"
+  "CMakeFiles/ncore_common.dir/logging.cc.o.d"
+  "CMakeFiles/ncore_common.dir/quant.cc.o"
+  "CMakeFiles/ncore_common.dir/quant.cc.o.d"
+  "CMakeFiles/ncore_common.dir/tensor.cc.o"
+  "CMakeFiles/ncore_common.dir/tensor.cc.o.d"
+  "libncore_common.a"
+  "libncore_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

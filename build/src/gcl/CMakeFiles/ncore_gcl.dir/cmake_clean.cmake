@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_gcl.dir/compiler.cc.o"
+  "CMakeFiles/ncore_gcl.dir/compiler.cc.o.d"
+  "CMakeFiles/ncore_gcl.dir/passes.cc.o"
+  "CMakeFiles/ncore_gcl.dir/passes.cc.o.d"
+  "CMakeFiles/ncore_gcl.dir/serialize.cc.o"
+  "CMakeFiles/ncore_gcl.dir/serialize.cc.o.d"
+  "libncore_gcl.a"
+  "libncore_gcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_gcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_gir.dir/graph.cc.o"
+  "CMakeFiles/ncore_gir.dir/graph.cc.o.d"
+  "libncore_gir.a"
+  "libncore_gir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_gir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_isa.dir/encoding.cc.o"
+  "CMakeFiles/ncore_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/ncore_isa.dir/instruction.cc.o"
+  "CMakeFiles/ncore_isa.dir/instruction.cc.o.d"
+  "libncore_isa.a"
+  "libncore_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

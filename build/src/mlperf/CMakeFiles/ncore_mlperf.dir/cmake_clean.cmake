@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_mlperf.dir/loadgen.cc.o"
+  "CMakeFiles/ncore_mlperf.dir/loadgen.cc.o.d"
+  "CMakeFiles/ncore_mlperf.dir/profiles.cc.o"
+  "CMakeFiles/ncore_mlperf.dir/profiles.cc.o.d"
+  "libncore_mlperf.a"
+  "libncore_mlperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_mlperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ncore_mlperf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gnmt.cc" "src/models/CMakeFiles/ncore_models.dir/gnmt.cc.o" "gcc" "src/models/CMakeFiles/ncore_models.dir/gnmt.cc.o.d"
+  "/root/repo/src/models/mobilenet_v1.cc" "src/models/CMakeFiles/ncore_models.dir/mobilenet_v1.cc.o" "gcc" "src/models/CMakeFiles/ncore_models.dir/mobilenet_v1.cc.o.d"
+  "/root/repo/src/models/resnet50.cc" "src/models/CMakeFiles/ncore_models.dir/resnet50.cc.o" "gcc" "src/models/CMakeFiles/ncore_models.dir/resnet50.cc.o.d"
+  "/root/repo/src/models/ssd_mobilenet.cc" "src/models/CMakeFiles/ncore_models.dir/ssd_mobilenet.cc.o" "gcc" "src/models/CMakeFiles/ncore_models.dir/ssd_mobilenet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gir/CMakeFiles/ncore_gir.dir/DependInfo.cmake"
+  "/root/repo/build/src/nkl/CMakeFiles/ncore_nkl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ncore/CMakeFiles/ncore_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ncore_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/ncore_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ncore_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_models.dir/gnmt.cc.o"
+  "CMakeFiles/ncore_models.dir/gnmt.cc.o.d"
+  "CMakeFiles/ncore_models.dir/mobilenet_v1.cc.o"
+  "CMakeFiles/ncore_models.dir/mobilenet_v1.cc.o.d"
+  "CMakeFiles/ncore_models.dir/resnet50.cc.o"
+  "CMakeFiles/ncore_models.dir/resnet50.cc.o.d"
+  "CMakeFiles/ncore_models.dir/ssd_mobilenet.cc.o"
+  "CMakeFiles/ncore_models.dir/ssd_mobilenet.cc.o.d"
+  "libncore_models.a"
+  "libncore_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_core.dir/machine.cc.o"
+  "CMakeFiles/ncore_core.dir/machine.cc.o.d"
+  "libncore_core.a"
+  "libncore_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nkl/kernels.cc" "src/nkl/CMakeFiles/ncore_nkl.dir/kernels.cc.o" "gcc" "src/nkl/CMakeFiles/ncore_nkl.dir/kernels.cc.o.d"
+  "/root/repo/src/nkl/layout.cc" "src/nkl/CMakeFiles/ncore_nkl.dir/layout.cc.o" "gcc" "src/nkl/CMakeFiles/ncore_nkl.dir/layout.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ncore_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ncore_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_nkl.dir/kernels.cc.o"
+  "CMakeFiles/ncore_nkl.dir/kernels.cc.o.d"
+  "CMakeFiles/ncore_nkl.dir/layout.cc.o"
+  "CMakeFiles/ncore_nkl.dir/layout.cc.o.d"
+  "libncore_nkl.a"
+  "libncore_nkl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_nkl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ncore_nkl.
+# This may be replaced when dependencies are built.

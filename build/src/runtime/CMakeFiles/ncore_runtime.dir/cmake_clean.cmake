@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_runtime.dir/delegate.cc.o"
+  "CMakeFiles/ncore_runtime.dir/delegate.cc.o.d"
+  "CMakeFiles/ncore_runtime.dir/runtime.cc.o"
+  "CMakeFiles/ncore_runtime.dir/runtime.cc.o.d"
+  "libncore_runtime.a"
+  "libncore_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_soc.dir/compress.cc.o"
+  "CMakeFiles/ncore_soc.dir/compress.cc.o.d"
+  "CMakeFiles/ncore_soc.dir/dma.cc.o"
+  "CMakeFiles/ncore_soc.dir/dma.cc.o.d"
+  "libncore_soc.a"
+  "libncore_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

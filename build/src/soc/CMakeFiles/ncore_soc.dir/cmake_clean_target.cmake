@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libncore_soc.a"
+)

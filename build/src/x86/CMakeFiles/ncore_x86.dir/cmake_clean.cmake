@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ncore_x86.dir/cost_model.cc.o"
+  "CMakeFiles/ncore_x86.dir/cost_model.cc.o.d"
+  "CMakeFiles/ncore_x86.dir/reference.cc.o"
+  "CMakeFiles/ncore_x86.dir/reference.cc.o.d"
+  "libncore_x86.a"
+  "libncore_x86.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ncore_x86.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gcl_test.dir/gcl_test.cc.o"
+  "CMakeFiles/gcl_test.dir/gcl_test.cc.o.d"
+  "gcl_test"
+  "gcl_test.pdb"
+  "gcl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gcl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gir_test.dir/gir_test.cc.o"
+  "CMakeFiles/gir_test.dir/gir_test.cc.o.d"
+  "gir_test"
+  "gir_test.pdb"
+  "gir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

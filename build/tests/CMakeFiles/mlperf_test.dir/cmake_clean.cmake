@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlperf_test.dir/mlperf_test.cc.o"
+  "CMakeFiles/mlperf_test.dir/mlperf_test.cc.o.d"
+  "mlperf_test"
+  "mlperf_test.pdb"
+  "mlperf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlperf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nkl_conv_test.dir/nkl_conv_test.cc.o"
+  "CMakeFiles/nkl_conv_test.dir/nkl_conv_test.cc.o.d"
+  "nkl_conv_test"
+  "nkl_conv_test.pdb"
+  "nkl_conv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nkl_conv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

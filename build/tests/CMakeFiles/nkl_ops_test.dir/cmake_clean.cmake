@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nkl_ops_test.dir/nkl_ops_test.cc.o"
+  "CMakeFiles/nkl_ops_test.dir/nkl_ops_test.cc.o.d"
+  "nkl_ops_test"
+  "nkl_ops_test.pdb"
+  "nkl_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nkl_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nkl_packed_test.dir/nkl_packed_test.cc.o"
+  "CMakeFiles/nkl_packed_test.dir/nkl_packed_test.cc.o.d"
+  "nkl_packed_test"
+  "nkl_packed_test.pdb"
+  "nkl_packed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nkl_packed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/ecc_test[1]_include.cmake")
+include("/root/repo/build/tests/isa_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_wide_test[1]_include.cmake")
+include("/root/repo/build/tests/dma_test[1]_include.cmake")
+include("/root/repo/build/tests/nkl_conv_test[1]_include.cmake")
+include("/root/repo/build/tests/nkl_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/gcl_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/nkl_packed_test[1]_include.cmake")
+include("/root/repo/build/tests/mlperf_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/gir_test[1]_include.cmake")
+include("/root/repo/build/tests/reference_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/compress_test[1]_include.cmake")
+include("/root/repo/build/tests/serialize_test[1]_include.cmake")
