@@ -9,9 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/ecc.h"
 #include "common/machine.h"
 #include "common/rng.h"
+#include "mlperf/profiles.h"
 #include "ncore/machine.h"
 
 namespace ncore {
@@ -50,12 +55,24 @@ BM_EccEncodeDecode(benchmark::State &state)
 }
 BENCHMARK(BM_EccEncodeDecode);
 
-/** Simulated MAC cycles per wall second (the DV-throughput metric). */
-void
-BM_MacPipeline(benchmark::State &state)
+/**
+ * The convolution-inner-loop instruction (Fig. 6 shape: two NDU
+ * rearranges feeding a repeated MAC) in each lane datatype, plus a
+ * predicated u8 variant. Cost per rep: u8/i8 1 clock, bf16 3, i16 4.
+ */
+std::vector<EncodedInstruction>
+macProgram(LaneType type, Pred pred)
 {
-    Machine m(chaNcoreConfig(), chaSocConfig());
     std::vector<Instruction> prog;
+    if (pred != Pred::None) {
+        // P0 <- data row 0 bytes (the harness fills it half-nonzero).
+        Instruction ld;
+        ld.dataRead.enable = true;
+        ld.ndu0.op = NduOp::LoadMask;
+        ld.ndu0.srcA = RowSrc::DataRead;
+        ld.ndu0.dst = 0;
+        prog.push_back(ld);
+    }
     Instruction zero;
     zero.npu.op = NpuOp::AccZero;
     prog.push_back(zero);
@@ -73,31 +90,90 @@ BM_MacPipeline(benchmark::State &state)
     mac.ndu1.dst = 1;
     mac.ndu1.param = uint8_t(NduStride::S1);
     mac.npu.op = NpuOp::Mac;
-    mac.npu.type = LaneType::U8;
-    mac.npu.a = RowSrc::N0;
-    mac.npu.b = RowSrc::N1;
-    mac.npu.zeroOff = true;
+    mac.npu.type = type;
+    mac.npu.pred = pred;
+    bool wide = type == LaneType::I16 || type == LaneType::BF16;
+    if (wide) {
+        // 16-bit lanes read planar pairs: N0 pairs with N1 (written by
+        // ndu1 above), and WeightRead latches rows row/row+1.
+        mac.npu.a = RowSrc::N0;
+        mac.npu.b = RowSrc::WeightRead;
+        mac.npu.zeroOff = false;
+    } else {
+        mac.npu.a = RowSrc::N0;
+        mac.npu.b = RowSrc::N1;
+        mac.npu.zeroOff = true;
+    }
     prog.push_back(mac);
     Instruction halt;
     halt.ctrl.op = CtrlOp::Halt;
     prog.push_back(halt);
     std::vector<EncodedInstruction> enc;
+    enc.reserve(prog.size());
     for (const Instruction &in : prog)
         enc.push_back(encodeInstruction(in));
+    return enc;
+}
 
+/** Make the LoadMask row half-nonzero for the predicated variant. */
+void
+fillPredRow(Machine &m)
+{
+    std::vector<uint8_t> row(size_t(m.rowBytesInt()));
+    for (size_t i = 0; i < row.size(); ++i)
+        row[i] = uint8_t(i & 1);
+    m.hostWriteRow(false, 0, row.data());
+}
+
+/** Simulated MAC cycles per wall second (the DV-throughput metric). */
+void
+runMacPipeline(benchmark::State &state, LaneType type, Pred pred)
+{
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    if (pred != Pred::None)
+        fillPredRow(m);
+    std::vector<EncodedInstruction> enc = macProgram(type, pred);
+
+    uint64_t cycles0 = m.cycles();
     for (auto _ : state) {
         m.writeIram(0, enc);
         m.start(0);
         m.run();
     }
     state.counters["sim_cycles/s"] = benchmark::Counter(
-        1026.0 * double(state.iterations()),
-        benchmark::Counter::kIsRate);
+        double(m.cycles() - cycles0), benchmark::Counter::kIsRate);
     state.counters["lane_MACs/s"] = benchmark::Counter(
         1024.0 * 4096.0 * double(state.iterations()),
         benchmark::Counter::kIsRate);
 }
+
+void
+BM_MacPipeline(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::U8, Pred::None);
+}
 BENCHMARK(BM_MacPipeline)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelineBf16(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::BF16, Pred::None);
+}
+BENCHMARK(BM_MacPipelineBf16)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelineI16(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::I16, Pred::None);
+}
+BENCHMARK(BM_MacPipelineI16)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelinePred(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::U8, Pred::P0);
+}
+BENCHMARK(BM_MacPipelinePred)->Unit(benchmark::kMillisecond);
 
 /** NDU rotate throughput (full 4 KB row per op). */
 void
@@ -137,7 +213,119 @@ BM_NduRotate(benchmark::State &state)
 }
 BENCHMARK(BM_NduRotate)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------
+// BENCH_sim.json: machine-readable snapshot of simulator throughput
+// (sim_cycles/s and lane_MACs/s per MAC variant, wall time per
+// cold-cache workload profile) for tracking the execution engine's
+// performance across commits. Profile measurement re-simulates all
+// four MLPerf workloads and takes a while; set NCORE_BENCH_NO_PROFILES
+// to skip that section.
+// --------------------------------------------------------------------
+
+struct MacMeasurement
+{
+    const char *name;
+    double simCyclesPerSec = 0;
+    double laneMacsPerSec = 0;
+    double wallPerRun = 0;
+};
+
+MacMeasurement
+measureMacVariant(const char *name, LaneType type, Pred pred)
+{
+    using clock = std::chrono::steady_clock;
+    Machine m(chaNcoreConfig(), chaSocConfig());
+    if (pred != Pred::None)
+        fillPredRow(m);
+    std::vector<EncodedInstruction> enc = macProgram(type, pred);
+
+    // Warm run: binds the decode-time plans and touches the RAM pages.
+    m.writeIram(0, enc);
+    m.start(0);
+    m.run();
+
+    uint64_t cycles0 = m.cycles();
+    uint64_t macs0 = m.perf().macOps;
+    clock::time_point t0 = clock::now();
+    double wall = 0;
+    int iters = 0;
+    do {
+        m.writeIram(0, enc);
+        m.start(0);
+        m.run();
+        ++iters;
+        wall = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (wall < 0.5);
+
+    MacMeasurement r;
+    r.name = name;
+    r.simCyclesPerSec = double(m.cycles() - cycles0) / wall;
+    r.laneMacsPerSec = double(m.perf().macOps - macs0) / wall;
+    r.wallPerRun = wall / iters;
+    return r;
+}
+
+void
+writeBenchSimJson()
+{
+    FILE *f = fopen("BENCH_sim.json", "w");
+    if (!f) {
+        fprintf(stderr, "cannot write BENCH_sim.json\n");
+        return;
+    }
+    fprintf(f, "{\n  \"mac_pipeline\": [\n");
+    const MacMeasurement macs[] = {
+        measureMacVariant("u8", LaneType::U8, Pred::None),
+        measureMacVariant("u8_pred", LaneType::U8, Pred::P0),
+        measureMacVariant("i16", LaneType::I16, Pred::None),
+        measureMacVariant("bf16", LaneType::BF16, Pred::None),
+    };
+    for (size_t i = 0; i < std::size(macs); ++i)
+        fprintf(f,
+                "    {\"name\": \"%s\", \"sim_cycles_per_s\": %.0f, "
+                "\"lane_macs_per_s\": %.0f, \"wall_s_per_run\": %.6f}%s\n",
+                macs[i].name, macs[i].simCyclesPerSec,
+                macs[i].laneMacsPerSec, macs[i].wallPerRun,
+                i + 1 < std::size(macs) ? "," : "");
+    fprintf(f, "  ],\n  \"profiles\": [\n");
+
+    if (!getenv("NCORE_BENCH_NO_PROFILES")) {
+        using clock = std::chrono::steady_clock;
+        const char *tmp_cache = "BENCH_profiles.cache";
+        std::remove(tmp_cache);
+        const Workload kAll[] = {Workload::MobileNetV1,
+                                 Workload::ResNet50,
+                                 Workload::SsdMobileNet, Workload::Gnmt};
+        double total = 0;
+        for (size_t i = 0; i < std::size(kAll); ++i) {
+            clock::time_point t0 = clock::now();
+            WorkloadProfile p = measureWorkload(kAll[i], true, tmp_cache);
+            double wall =
+                std::chrono::duration<double>(clock::now() - t0).count();
+            total += wall;
+            fprintf(f, "    {\"model\": \"%s\", \"wall_s\": %.3f},\n",
+                    p.model.c_str(), wall);
+        }
+        std::remove(tmp_cache);
+        fprintf(f, "    {\"model\": \"total\", \"wall_s\": %.3f}\n",
+                total);
+    }
+    fprintf(f, "  ]\n}\n");
+    fclose(f);
+    fprintf(stderr, "wrote BENCH_sim.json\n");
+}
+
 } // namespace
 } // namespace ncore
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    ncore::writeBenchSimJson();
+    return 0;
+}

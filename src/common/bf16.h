@@ -58,6 +58,19 @@ bf16MulAcc(float acc, BFloat16 a, BFloat16 b)
     return acc + a.toFloat() * b.toFloat();
 }
 
+/**
+ * Canonicalize a float arithmetic result the way the NPU's bf16 FPU
+ * does: any NaN becomes the standard quiet NaN. IEEE-754 leaves the
+ * payload of a propagated NaN unspecified, and compilers may commute
+ * fadd operands, so without this the exact accumulator *bits* would
+ * depend on how each simulator loop happened to be compiled.
+ */
+inline float
+canonicalizeNaN(float f)
+{
+    return f != f ? std::bit_cast<float>(0x7fc00000u) : f;
+}
+
 } // namespace ncore
 
 #endif // NCORE_COMMON_BF16_H

@@ -1,8 +1,10 @@
 #include "profiles.h"
 
+#include <array>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "gcl/compiler.h"
 #include "models/gnmt.h"
@@ -201,12 +203,49 @@ measureWorkload(Workload w, bool force, const std::string &cache_path)
 }
 
 std::vector<WorkloadProfile>
-measureAllWorkloads(const std::string &cache_path)
+measureAllWorkloads(const std::string &cache_path, bool force)
 {
-    return {measureWorkload(Workload::MobileNetV1, false, cache_path),
-            measureWorkload(Workload::ResNet50, false, cache_path),
-            measureWorkload(Workload::SsdMobileNet, false, cache_path),
-            measureWorkload(Workload::Gnmt, false, cache_path)};
+    constexpr Workload kAll[] = {Workload::MobileNetV1,
+                                 Workload::ResNet50,
+                                 Workload::SsdMobileNet, Workload::Gnmt};
+    constexpr int kCount = int(std::size(kAll));
+    std::array<std::optional<WorkloadProfile>, kCount> results;
+    std::array<bool, kCount> measured{};
+
+    // Serve cache hits serially: the cache is a plain text file.
+    if (!force)
+        for (int i = 0; i < kCount; ++i)
+            results[i] = readCache(cache_path, kAll[i]);
+
+    // Simulate the misses concurrently. Each profile run builds its own
+    // model, compiler invocation and simulator Machine, so the threads
+    // share no mutable state.
+    {
+        std::vector<std::jthread> threads;
+        for (int i = 0; i < kCount; ++i) {
+            if (results[i])
+                continue;
+            measured[i] = true;
+            inform("profiling %s on the Ncore simulator (this can take "
+                   "a minute; cached afterwards)",
+                   workloadName(kAll[i]));
+            threads.emplace_back([&results, i, w = kAll[i]] {
+                results[i] =
+                    w == Workload::Gnmt ? profileGnmt() : profileCnn(w);
+            });
+        }
+    } // jthreads join here.
+
+    // Append freshly measured profiles in workload order.
+    for (int i = 0; i < kCount; ++i)
+        if (measured[i])
+            appendCache(cache_path, *results[i]);
+
+    std::vector<WorkloadProfile> out;
+    out.reserve(kCount);
+    for (int i = 0; i < kCount; ++i)
+        out.push_back(*results[i]);
+    return out;
 }
 
 } // namespace ncore

@@ -46,9 +46,15 @@ WorkloadProfile measureWorkload(
     Workload w, bool force = false,
     const std::string &cache_path = "ncore_profiles.cache");
 
-/** All four profiles in Table V order. */
+/**
+ * All four profiles in Table V order. Cache hits are served serially;
+ * the remaining workloads are simulated concurrently, one simulator
+ * Machine per thread (each profile run is fully independent). Set
+ * `force` to re-simulate everything.
+ */
 std::vector<WorkloadProfile> measureAllWorkloads(
-    const std::string &cache_path = "ncore_profiles.cache");
+    const std::string &cache_path = "ncore_profiles.cache",
+    bool force = false);
 
 } // namespace ncore
 

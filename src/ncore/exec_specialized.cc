@@ -1,0 +1,682 @@
+/**
+ * @file
+ * Specialized executor kernels and the decode-time plan builder. See
+ * exec_specialized.h for the design and the equivalence guarantee; the
+ * authoritative semantics live in machine.cc's generic interpreter and
+ * every kernel here must match it bit for bit.
+ */
+
+#include "exec_specialized.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/bf16.h"
+#include "common/logging.h"
+#include "common/saturate.h"
+
+namespace ncore {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Lane helpers (compile-time variants of widenLane / predPass /
+// floatLane from machine.cc).
+// --------------------------------------------------------------------
+
+template <LaneType T, bool ZOFF>
+inline int32_t
+widen(const uint8_t *lo, const uint8_t *hi, int i, int32_t z)
+{
+    if constexpr (T == LaneType::I8) {
+        return int8_t(lo[i]);
+    } else if constexpr (T == LaneType::U8) {
+        if constexpr (ZOFF)
+            return int32_t(lo[i]) - z;
+        else
+            return int32_t(lo[i]);
+    } else {
+        return int16_t(uint16_t(lo[i]) | (uint16_t(hi[i]) << 8));
+    }
+}
+
+template <Pred P>
+inline bool
+pass(const ExecCtx &c, int i)
+{
+    if constexpr (P == Pred::None)
+        return true;
+    else if constexpr (P == Pred::P0)
+        return c.pred0[i] != 0;
+    else if constexpr (P == Pred::P1)
+        return c.pred1[i] != 0;
+    else
+        return c.pred0[i] == 0;
+}
+
+inline float
+flane(const uint8_t *lo, const uint8_t *hi, int i)
+{
+    uint16_t bits = uint16_t(lo[i]) | (uint16_t(hi[i]) << 8);
+    return BFloat16::fromBits(bits).toFloat();
+}
+
+/** Which op/type combinations have a specialized kernel. */
+constexpr bool
+npuCombiValid(NpuOp op, LaneType t)
+{
+    switch (op) {
+      case NpuOp::Mac:
+      case NpuOp::MacFwd:
+      case NpuOp::Add:
+      case NpuOp::Sub:
+      case NpuOp::Min:
+      case NpuOp::Max:
+        return true;
+      case NpuOp::And:
+      case NpuOp::Or:
+      case NpuOp::Xor:
+      case NpuOp::CmpGtP0:
+      case NpuOp::CmpGtP1:
+        return t != LaneType::BF16; // Generic panics on these for bf16.
+      default:
+        return false;
+    }
+}
+
+// --------------------------------------------------------------------
+// NPU kernels
+// --------------------------------------------------------------------
+
+template <NpuOp OP, LaneType T, Pred P, bool ZOFF>
+void
+npuKern(const ExecCtx &c)
+{
+    if constexpr (!npuCombiValid(OP, T)) {
+        panic("unreachable specialized NPU kernel");
+    } else if constexpr (T == LaneType::BF16) {
+        const int rb = c.rb;
+        if constexpr (OP == NpuOp::Mac || OP == NpuOp::MacFwd) {
+            const int fwd = OP == NpuOp::MacFwd ? c.fwd : 0;
+            for (int i = 0; i < rb; ++i) {
+                if (!pass<P>(c, i))
+                    continue;
+                int ai = i + fwd;
+                if (ai >= rb)
+                    ai -= rb;
+                float fa = flane(c.aLo, c.aHi, ai);
+                float fb = flane(c.bLo, c.bHi, i);
+                float fc = std::bit_cast<float>(c.acc[i]);
+                c.acc[i] = std::bit_cast<int32_t>(
+                    canonicalizeNaN(fc + fa * fb));
+            }
+        } else {
+            for (int i = 0; i < rb; ++i) {
+                if (!pass<P>(c, i))
+                    continue;
+                float fa = flane(c.aLo, c.aHi, i);
+                float fc = std::bit_cast<float>(c.acc[i]);
+                float r;
+                if constexpr (OP == NpuOp::Add)
+                    r = canonicalizeNaN(fc + fa);
+                else if constexpr (OP == NpuOp::Sub)
+                    r = canonicalizeNaN(fc - fa);
+                else if constexpr (OP == NpuOp::Min)
+                    r = std::min(fc, fa);
+                else
+                    r = std::max(fc, fa);
+                c.acc[i] = std::bit_cast<int32_t>(r);
+            }
+        }
+    } else if constexpr (OP == NpuOp::Mac || OP == NpuOp::MacFwd) {
+        const int rb = c.rb;
+        const int32_t zA = c.zA, zB = c.zB;
+        const int fwd = OP == NpuOp::MacFwd ? c.fwd : 0;
+        const uint8_t *aLo = c.aLo, *aHi = c.aHi;
+        const uint8_t *bLo = c.bLo, *bHi = c.bHi;
+        int32_t *acc = c.acc;
+        for (int i = 0; i < rb; ++i) {
+            if (!pass<P>(c, i))
+                continue;
+            int ai = i + fwd;
+            if constexpr (OP == NpuOp::MacFwd) {
+                if (ai >= rb)
+                    ai -= rb;
+            }
+            int32_t wa = widen<T, ZOFF>(aLo, aHi, ai, zA);
+            int32_t wb = widen<T, ZOFF>(bLo, bHi, i, zB);
+            acc[i] = satAdd32(acc[i], wa * wb);
+        }
+    } else if constexpr (OP == NpuOp::CmpGtP0 || OP == NpuOp::CmpGtP1) {
+        const int rb = c.rb;
+        const int32_t zA = c.zA, zB = c.zB;
+        uint8_t *p = c.predOut;
+        for (int i = 0; i < rb; ++i) {
+            int32_t wa = widen<T, ZOFF>(c.aLo, c.aHi, i, zA);
+            int32_t wb = widen<T, ZOFF>(c.bLo, c.bHi, i, zB);
+            p[i] = wa > wb;
+        }
+    } else {
+        const int rb = c.rb;
+        const int32_t zA = c.zA;
+        int32_t *acc = c.acc;
+        for (int i = 0; i < rb; ++i) {
+            if (!pass<P>(c, i))
+                continue;
+            int32_t wa = widen<T, ZOFF>(c.aLo, c.aHi, i, zA);
+            if constexpr (OP == NpuOp::Add)
+                acc[i] = satAdd32(acc[i], wa);
+            else if constexpr (OP == NpuOp::Sub)
+                acc[i] = satAdd32(acc[i], -wa);
+            else if constexpr (OP == NpuOp::Min)
+                acc[i] = std::min(acc[i], wa);
+            else if constexpr (OP == NpuOp::Max)
+                acc[i] = std::max(acc[i], wa);
+            else if constexpr (OP == NpuOp::And)
+                acc[i] &= wa;
+            else if constexpr (OP == NpuOp::Or)
+                acc[i] |= wa;
+            else if constexpr (OP == NpuOp::Xor)
+                acc[i] ^= wa;
+        }
+    }
+}
+
+template <NpuOp OP, LaneType T, Pred P>
+NpuKernel
+pickZ(bool zoff)
+{
+    return zoff ? &npuKern<OP, T, P, true> : &npuKern<OP, T, P, false>;
+}
+
+template <NpuOp OP, LaneType T>
+NpuKernel
+pickP(Pred p, bool zoff)
+{
+    switch (p) {
+      case Pred::None: return pickZ<OP, T, Pred::None>(zoff);
+      case Pred::P0: return pickZ<OP, T, Pred::P0>(zoff);
+      case Pred::P1: return pickZ<OP, T, Pred::P1>(zoff);
+      case Pred::NotP0: return pickZ<OP, T, Pred::NotP0>(zoff);
+    }
+    return nullptr;
+}
+
+template <NpuOp OP>
+NpuKernel
+pickT(LaneType t, Pred p, bool zoff)
+{
+    if (!npuCombiValid(OP, t))
+        return nullptr;
+    switch (t) {
+      case LaneType::I8: return pickP<OP, LaneType::I8>(p, zoff);
+      case LaneType::U8: return pickP<OP, LaneType::U8>(p, zoff);
+      case LaneType::I16: return pickP<OP, LaneType::I16>(p, zoff);
+      case LaneType::BF16: return pickP<OP, LaneType::BF16>(p, zoff);
+    }
+    return nullptr;
+}
+
+NpuKernel
+selectNpuKernel(const NpuSlot &npu)
+{
+    // Canonicalize: zeroOff only affects u8 lanes; CmpGt ignores preds.
+    bool zoff = npu.zeroOff && npu.type == LaneType::U8;
+    Pred p = npu.pred;
+    if (npu.op == NpuOp::CmpGtP0 || npu.op == NpuOp::CmpGtP1)
+        p = Pred::None;
+    switch (npu.op) {
+      case NpuOp::Mac: return pickT<NpuOp::Mac>(npu.type, p, zoff);
+      case NpuOp::MacFwd: return pickT<NpuOp::MacFwd>(npu.type, p, zoff);
+      case NpuOp::Add: return pickT<NpuOp::Add>(npu.type, p, zoff);
+      case NpuOp::Sub: return pickT<NpuOp::Sub>(npu.type, p, zoff);
+      case NpuOp::Min: return pickT<NpuOp::Min>(npu.type, p, zoff);
+      case NpuOp::Max: return pickT<NpuOp::Max>(npu.type, p, zoff);
+      case NpuOp::And: return pickT<NpuOp::And>(npu.type, p, zoff);
+      case NpuOp::Or: return pickT<NpuOp::Or>(npu.type, p, zoff);
+      case NpuOp::Xor: return pickT<NpuOp::Xor>(npu.type, p, zoff);
+      case NpuOp::CmpGtP0:
+        return pickT<NpuOp::CmpGtP0>(npu.type, p, zoff);
+      case NpuOp::CmpGtP1:
+        return pickT<NpuOp::CmpGtP1>(npu.type, p, zoff);
+      default:
+        return nullptr; // None / AccZero / AccLoadBias: generic path.
+    }
+}
+
+// --------------------------------------------------------------------
+// OUT kernels
+// --------------------------------------------------------------------
+
+template <OutOp OP, ActFn ACT>
+void
+outKern(const ExecCtx &c)
+{
+    const int rb = c.rb;
+    const RequantEntry &e = *c.rq;
+    if constexpr (OP == OutOp::Requant8) {
+        constexpr bool kLut =
+            ACT == ActFn::Sigmoid || ACT == ActFn::Tanh;
+        for (int i = 0; i < rb; ++i) {
+            int32_t v = e.rq.apply(c.acc[i]);
+            if constexpr (kLut) {
+                uint8_t idx;
+                if (e.outType == DType::UInt8)
+                    idx = satNarrowU8(v);
+                else
+                    idx = uint8_t(satNarrow8(v)) ^ 0x80;
+                uint8_t code = c.luts[e.lutId & 3][idx];
+                v = e.outType == DType::UInt8 ? int32_t(code)
+                                              : int32_t(int8_t(code));
+            }
+            v = std::clamp(v, e.actMin, e.actMax);
+            c.outLo[i] = uint8_t(v & 0xff);
+        }
+    } else if constexpr (OP == OutOp::Requant16) {
+        for (int i = 0; i < rb; ++i) {
+            int32_t v = e.rq.apply(c.acc[i]);
+            v = std::clamp(v, e.actMin, e.actMax);
+            c.outLo[i] = uint8_t(v & 0xff);
+            c.outHi[i] = uint8_t((v >> 8) & 0xff);
+        }
+    } else if constexpr (OP == OutOp::StoreBf16) {
+        for (int i = 0; i < rb; ++i) {
+            float f = std::bit_cast<float>(c.acc[i]);
+            if constexpr (ACT == ActFn::Relu)
+                f = std::max(f, 0.0f);
+            else if constexpr (ACT == ActFn::Relu6)
+                f = std::clamp(f, 0.0f, 6.0f);
+            else if constexpr (ACT == ActFn::Sigmoid)
+                f = 1.0f / (1.0f + std::exp(-f));
+            else if constexpr (ACT == ActFn::Tanh)
+                f = std::tanh(f);
+            uint16_t bits = BFloat16::fromFloat(f).bits;
+            c.outLo[i] = uint8_t(bits & 0xff);
+            c.outHi[i] = uint8_t(bits >> 8);
+        }
+    } else if constexpr (OP == OutOp::CopyAcc32) {
+        int quarter = rb / 4;
+        std::memcpy(c.outLo, c.acc + c.outParam * quarter, size_t(rb));
+    } else if constexpr (OP == OutOp::ActOnly8) {
+        for (int i = 0; i < rb; ++i) {
+            int32_t v = std::clamp(c.acc[i], e.actMin, e.actMax);
+            c.outLo[i] = uint8_t(v & 0xff);
+        }
+    }
+}
+
+OutKernel
+selectOutKernel(const OutSlot &out)
+{
+    switch (out.op) {
+      case OutOp::Requant8:
+        // Only the LUT-vs-not distinction matters for Requant8.
+        if (out.act == ActFn::Sigmoid || out.act == ActFn::Tanh)
+            return &outKern<OutOp::Requant8, ActFn::Sigmoid>;
+        return &outKern<OutOp::Requant8, ActFn::None>;
+      case OutOp::Requant16:
+        return &outKern<OutOp::Requant16, ActFn::None>;
+      case OutOp::StoreBf16:
+        switch (out.act) {
+          case ActFn::None:
+            return &outKern<OutOp::StoreBf16, ActFn::None>;
+          case ActFn::Relu:
+            return &outKern<OutOp::StoreBf16, ActFn::Relu>;
+          case ActFn::Relu6:
+            return &outKern<OutOp::StoreBf16, ActFn::Relu6>;
+          case ActFn::Sigmoid:
+            return &outKern<OutOp::StoreBf16, ActFn::Sigmoid>;
+          case ActFn::Tanh:
+            return &outKern<OutOp::StoreBf16, ActFn::Tanh>;
+        }
+        return nullptr;
+      case OutOp::CopyAcc32:
+        return &outKern<OutOp::CopyAcc32, ActFn::None>;
+      case OutOp::ActOnly8:
+        return &outKern<OutOp::ActOnly8, ActFn::None>;
+      case OutOp::None:
+        return nullptr;
+    }
+    return nullptr;
+}
+
+// --------------------------------------------------------------------
+// NDU kernels
+// --------------------------------------------------------------------
+
+/** Normalize a byte offset into [0, rb), matching `((x % rb) + rb) % rb`. */
+inline int
+normOffset(int off, int rb)
+{
+    int m = off % rb;
+    return m < 0 ? m + rb : m;
+}
+
+template <NduOp OP>
+void
+nduKern(const NduCtx &c)
+{
+    const int rb = c.rb;
+    uint8_t *d = c.out;
+    if constexpr (OP == NduOp::Bypass) {
+        std::memcpy(d, c.a, size_t(rb));
+    } else if constexpr (OP == NduOp::SplatImm) {
+        std::memset(d, c.imm, size_t(rb));
+    } else if constexpr (OP == NduOp::Rotate) {
+        int m = normOffset(c.offset, rb);
+        fatal_if(std::min(m, rb - m) > 64,
+                 "NDU rotate of %d bytes exceeds 64 B/clock", c.offset);
+        std::memcpy(d, c.a + m, size_t(rb - m));
+        std::memcpy(d + (rb - m), c.a, size_t(m));
+    } else if constexpr (OP == NduOp::WindowGather) {
+        const int groups = rb / 64;
+        int base = normOffset(c.offset, rb);
+        for (int g = 0; g < groups; ++g) {
+            int tail = rb - base;
+            if (tail >= 64) {
+                std::memcpy(d + g * 64, c.a + base, 64);
+            } else {
+                std::memcpy(d + g * 64, c.a + base, size_t(tail));
+                std::memcpy(d + g * 64 + tail, c.a, size_t(64 - tail));
+            }
+            base += c.stride;
+            if (base >= rb)
+                base -= rb;
+        }
+    } else if constexpr (OP == NduOp::RepWindow) {
+        const int groups = rb / 64;
+        uint8_t pattern[64];
+        int idx = normOffset(c.offset, rb);
+        for (int j = 0; j < 64; ++j) {
+            pattern[j] = c.a[idx];
+            idx += c.stride;
+            if (idx >= rb)
+                idx -= rb;
+        }
+        for (int g = 0; g < groups; ++g)
+            std::memcpy(d + g * 64, pattern, 64);
+    } else if constexpr (OP == NduOp::GroupBcast) {
+        const int groups = rb / 64;
+        int idx = normOffset(c.offset, rb);
+        for (int g = 0; g < groups; ++g) {
+            std::memset(d + g * 64, c.a[idx], 64);
+            idx += c.stride;
+            if (idx >= rb)
+                idx -= rb;
+        }
+    } else if constexpr (OP == NduOp::Compress2) {
+        const int groups = rb / 64;
+        const int phase = c.phase;
+        for (int g = 0; g < groups; ++g)
+            for (int j = 0; j < 64; ++j)
+                d[g * 64 + j] = c.a[g * 64 + ((2 * j + phase) & 63)];
+    } else if constexpr (OP == NduOp::MergeMask) {
+        const uint8_t *a = c.a, *b = c.b, *p = c.pred;
+        const bool inv = c.predInv;
+        for (int i = 0; i < rb; ++i)
+            d[i] = ((p[i] != 0) != inv) ? a[i] : b[i];
+    } else if constexpr (OP == NduOp::LoadMask) {
+        const uint8_t *a = c.a;
+        for (int i = 0; i < rb; ++i)
+            d[i] = a[i] != 0;
+    }
+}
+
+NduKernel
+selectNduKernel(const NduSlot &slot)
+{
+    switch (slot.op) {
+      case NduOp::Bypass: return &nduKern<NduOp::Bypass>;
+      case NduOp::SplatImm: return &nduKern<NduOp::SplatImm>;
+      case NduOp::Rotate: return &nduKern<NduOp::Rotate>;
+      case NduOp::WindowGather: return &nduKern<NduOp::WindowGather>;
+      case NduOp::RepWindow: return &nduKern<NduOp::RepWindow>;
+      case NduOp::GroupBcast: return &nduKern<NduOp::GroupBcast>;
+      case NduOp::Compress2: return &nduKern<NduOp::Compress2>;
+      case NduOp::MergeMask: return &nduKern<NduOp::MergeMask>;
+      case NduOp::LoadMask: return &nduKern<NduOp::LoadMask>;
+      case NduOp::None: return nullptr;
+    }
+    return nullptr;
+}
+
+// --------------------------------------------------------------------
+// Plan building
+// --------------------------------------------------------------------
+
+/** Decode-time twin of Machine::resolveSrc; null instead of panicking. */
+const uint8_t *
+resolvePtr(const PlanBindings &b, RowSrc s)
+{
+    switch (s) {
+      case RowSrc::DataRead: return b.dataLo;
+      case RowSrc::WeightRead: return b.weightLo;
+      case RowSrc::Imm: return b.immRow;
+      case RowSrc::N0: return b.n[0];
+      case RowSrc::N1: return b.n[1];
+      case RowSrc::N2: return b.n[2];
+      case RowSrc::N3: return b.n[3];
+      case RowSrc::OutLo: return b.outLo;
+      case RowSrc::OutHi: return b.outHi;
+      case RowSrc::DataReadHi: return b.dataHi;
+      case RowSrc::WeightReadHi: return b.weightHi;
+      case RowSrc::None: return nullptr;
+    }
+    return nullptr;
+}
+
+/** Decode-time twin of Machine::resolveSrcHi. */
+const uint8_t *
+resolveHiPtr(const PlanBindings &b, RowSrc s)
+{
+    switch (s) {
+      case RowSrc::DataRead: return b.dataHi;
+      case RowSrc::WeightRead: return b.weightHi;
+      case RowSrc::N0: return b.n[1];
+      case RowSrc::N2: return b.n[3];
+      case RowSrc::OutLo: return b.outHi;
+      default: return nullptr;
+    }
+}
+
+bool
+nduUsesHi(const NduSlot &n)
+{
+    return n.op != NduOp::None &&
+           (n.srcA == RowSrc::DataReadHi ||
+            n.srcA == RowSrc::WeightReadHi ||
+            n.srcB == RowSrc::DataReadHi ||
+            n.srcB == RowSrc::WeightReadHi);
+}
+
+/** Bind one NDU slot; returns false if an operand fails to resolve. */
+bool
+bindNdu(const NduSlot &slot, const PlanBindings &b, uint32_t ctrl_imm,
+        NduCtx &c, NduKernel &kern)
+{
+    kern = selectNduKernel(slot);
+    if (!kern)
+        return slot.op == NduOp::None;
+    c.rb = b.rb;
+    c.imm = uint8_t(ctrl_imm & 0xff);
+    c.stride = nduStrideBytes(NduStride(slot.param & 7));
+    c.phase = slot.param & 1;
+    bool needs_a = slot.op != NduOp::SplatImm;
+    bool needs_b = slot.op == NduOp::MergeMask;
+    c.a = resolvePtr(b, slot.srcA);
+    c.b = resolvePtr(b, slot.srcB);
+    if ((needs_a && !c.a) || (needs_b && !c.b)) {
+        kern = nullptr;
+        return false;
+    }
+    if (slot.op == NduOp::LoadMask) {
+        c.finalDst = b.pred[slot.dst & 1];
+        c.out = c.finalDst; // Predicate rows never alias row sources.
+    } else {
+        c.finalDst = b.n[slot.dst & 3];
+        bool aliased = (needs_a && c.a == c.finalDst) ||
+                       (needs_b && c.b == c.finalDst);
+        c.out = aliased ? b.scratch : c.finalDst;
+    }
+    if (slot.op == NduOp::MergeMask) {
+        c.pred = b.pred[slot.param & 1];
+        c.predInv = (slot.param & 2) != 0;
+    }
+    return true;
+}
+
+/** True if RowSrc `s` names N register `idx` (0..3). */
+bool
+srcIsN(RowSrc s, int idx)
+{
+    return idx >= 0 && s == RowSrc(int(RowSrc::N0) + idx);
+}
+
+/**
+ * Rep-invariance: with CtrlOp::Rep, can the body's non-accumulator
+ * inputs provably stay constant across repetitions? Requires: no
+ * address-register post-increments, no RAM write-back, an NPU op that
+ * touches only the accumulators (or an idempotent special op), no NDU
+ * output feeding an NDU input of a subsequent repetition, no
+ * predicate-write feeding an earlier predicate read, and no slot
+ * consuming OUT rows that the OUT unit refreshes per repetition.
+ */
+bool
+computeRepInvariant(const Instruction &in, const ExecPlan &p)
+{
+    if (in.dataRead.enable && in.dataRead.postInc)
+        return false;
+    if (in.weightRead.enable && in.weightRead.postInc)
+        return false;
+    if (in.ndu0.op != NduOp::None && in.ndu0.addrInc)
+        return false;
+    if (in.ndu1.op != NduOp::None && in.ndu1.addrInc)
+        return false;
+    if (in.write.enable)
+        return false;
+
+    switch (in.npu.op) {
+      case NpuOp::CmpGtP0:
+      case NpuOp::CmpGtP1:
+        return false; // Writes predicates the NDU may consume.
+      case NpuOp::None:
+      case NpuOp::AccZero:
+      case NpuOp::AccLoadBias:
+        break; // Idempotent: executed once.
+      default:
+        if (!p.npuKernel)
+            return false; // Accumulating op needs its kernel.
+        break;
+    }
+
+    // MergeMask before a LoadMask would see the pre-load predicates
+    // only on the first repetition.
+    if (in.ndu0.op == NduOp::MergeMask && in.ndu1.op == NduOp::LoadMask)
+        return false;
+
+    // NDU destination feeding an NDU source of the next repetition.
+    auto dstOf = [](const NduSlot &s) {
+        return (s.op == NduOp::None || s.op == NduOp::LoadMask)
+                   ? -1
+                   : int(s.dst & 3);
+    };
+    int d0 = dstOf(in.ndu0), d1 = dstOf(in.ndu1);
+    if (in.ndu0.op != NduOp::None &&
+        (srcIsN(in.ndu0.srcA, d0) || srcIsN(in.ndu0.srcA, d1) ||
+         srcIsN(in.ndu0.srcB, d0) || srcIsN(in.ndu0.srcB, d1)))
+        return false;
+    if (in.ndu1.op != NduOp::None &&
+        (srcIsN(in.ndu1.srcA, d1) || srcIsN(in.ndu1.srcB, d1)))
+        return false;
+
+    // OUT rows are only final after the last repetition.
+    if (in.out.op != OutOp::None) {
+        auto readsOut = [](RowSrc s) {
+            return s == RowSrc::OutLo || s == RowSrc::OutHi;
+        };
+        if (in.ndu0.op != NduOp::None &&
+            (readsOut(in.ndu0.srcA) || readsOut(in.ndu0.srcB)))
+            return false;
+        if (in.ndu1.op != NduOp::None &&
+            (readsOut(in.ndu1.srcA) || readsOut(in.ndu1.srcB)))
+            return false;
+        if (in.npu.op != NpuOp::None &&
+            (readsOut(in.npu.a) || readsOut(in.npu.b)))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+ExecPlan
+buildExecPlan(const Instruction &in, const PlanBindings &b)
+{
+    ExecPlan p;
+
+    p.usesImm =
+        in.ndu0.srcA == RowSrc::Imm || in.ndu0.srcB == RowSrc::Imm ||
+        in.ndu1.srcA == RowSrc::Imm || in.ndu1.srcB == RowSrc::Imm ||
+        in.npu.a == RowSrc::Imm || in.npu.b == RowSrc::Imm;
+    p.wideLatch = (in.npu.op != NpuOp::None &&
+                   (in.npu.type == LaneType::I16 ||
+                    in.npu.type == LaneType::BF16)) ||
+                  nduUsesHi(in.ndu0) || nduUsesHi(in.ndu1);
+    p.enabledReads = uint8_t((in.dataRead.enable ? 1 : 0) +
+                             (in.weightRead.enable ? 1 : 0));
+    p.activeNduSlots = uint8_t((in.ndu0.op != NduOp::None ? 1 : 0) +
+                               (in.ndu1.op != NduOp::None ? 1 : 0));
+
+    bindNdu(in.ndu0, b, in.ctrl.imm, p.ndu[0], p.nduKernel[0]);
+    bindNdu(in.ndu1, b, in.ctrl.imm, p.ndu[1], p.nduKernel[1]);
+
+    // NPU and OUT share one operand context.
+    ExecCtx &c = p.ctx;
+    c.rb = b.rb;
+    c.fwd = b.rb > 0 ? b.sliceBytes % b.rb : 0;
+    c.acc = b.acc;
+    c.pred0 = b.pred[0];
+    c.pred1 = b.pred[1];
+    c.outLo = b.outLo;
+    c.outHi = b.outHi;
+    c.luts = b.luts;
+    c.rq = &b.rqTable[in.out.rqIndex];
+    c.outParam = in.out.param & 3;
+
+    if (in.npu.op != NpuOp::None) {
+        NpuKernel k = selectNpuKernel(in.npu);
+        if (k) {
+            bool wide = in.npu.type == LaneType::I16 ||
+                        in.npu.type == LaneType::BF16;
+            bool needs_b =
+                in.npu.op == NpuOp::Mac || in.npu.op == NpuOp::MacFwd ||
+                in.npu.op == NpuOp::CmpGtP0 ||
+                in.npu.op == NpuOp::CmpGtP1;
+            c.aLo = resolvePtr(b, in.npu.a);
+            c.aHi = wide ? resolveHiPtr(b, in.npu.a) : nullptr;
+            bool ok = c.aLo && (!wide || c.aHi);
+            if (needs_b) {
+                c.bLo = resolvePtr(b, in.npu.b);
+                c.bHi = wide ? resolveHiPtr(b, in.npu.b) : nullptr;
+                ok = ok && c.bLo && (!wide || c.bHi);
+            }
+            if (in.npu.op == NpuOp::CmpGtP0)
+                c.predOut = b.pred[0];
+            else if (in.npu.op == NpuOp::CmpGtP1)
+                c.predOut = b.pred[1];
+            if (ok) {
+                p.npuKernel = k;
+                p.npuIsMac = in.npu.op == NpuOp::Mac ||
+                             in.npu.op == NpuOp::MacFwd;
+            }
+        }
+    }
+
+    p.outKernel = selectOutKernel(in.out);
+    p.repInvariant = computeRepInvariant(in, p);
+    return p;
+}
+
+} // namespace ncore

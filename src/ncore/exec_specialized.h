@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Pre-decoded specialized execution engine for the Ncore simulator.
+ *
+ * The generic interpreter in machine.cc dispatches a switch per lane
+ * (widenLane on LaneType, predPass on Pred) across all 4096 lanes of
+ * every NPU instruction, and re-resolves row sources per slot per rep.
+ * For whole-model profiling runs that is the dominant cost of the
+ * repository's evaluation harness.
+ *
+ * This engine classifies each instruction once, at decodeBank time, and
+ * binds a specialized executor per issue slot:
+ *
+ *  - NPU kernels are template instantiations over
+ *    {NpuOp, LaneType, Pred, zeroOff}, so the per-lane switches vanish
+ *    and the common case (Pred::None u8/i8 MAC) becomes a straight-line
+ *    fused loop the compiler can autovectorize.
+ *  - NDU kernels are instantiated per NduOp with the `% rowBytes`
+ *    modulo arithmetic replaced by normalize-once-then-wrap indexing,
+ *    and write directly to their destination register when the decoder
+ *    proves the destination cannot alias a source (skipping the
+ *    scratch-row round trip).
+ *  - OUT kernels hoist the activation-LUT check out of the lane loop.
+ *
+ * Row-register and accumulator storage never reallocates over a
+ * Machine's lifetime, so every operand pointer is bound into the plan
+ * at decode time; only the few runtime-variant inputs (address-register
+ * byte offsets, zero offsets) are refreshed per call.
+ *
+ * The plan also records whether an instruction is *rep-invariant*: a
+ * CtrlOp::Rep body whose non-accumulator state provably cannot change
+ * across repetitions. For those the sequencer latches reads and runs
+ * the NDU slots once, applies the NPU kernel N times back to back, and
+ * derives the OUT row once from the final accumulator state — identical
+ * architectural results and cycle/perf accounting without N rounds of
+ * fetch/latch/post-increment bookkeeping.
+ *
+ * Equivalence guarantee: for any program the generic interpreter
+ * executes without a fault, the specialized engine produces bit
+ * identical RAM contents, accumulators, predicates, N/OUT registers,
+ * perf counters and cycle counts (enforced by tests/fastpath_diff_test
+ * on random programs). Setting NCORE_SIM_GENERIC=1 in the environment
+ * (or Machine::setGenericExec(true)) forces the generic path.
+ */
+
+#ifndef NCORE_NCORE_EXEC_SPECIALIZED_H
+#define NCORE_NCORE_EXEC_SPECIALIZED_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/quant.h"
+#include "isa/instruction.h"
+
+namespace ncore {
+
+/**
+ * Operand context for the NPU and OUT kernels of one decoded
+ * instruction. All pointers are bound at decode time; zA/zB (the u8
+ * zero offsets, architecturally mutable via CtrlOp::SetZeroOff) are
+ * refreshed by the caller before each NPU kernel invocation.
+ */
+struct ExecCtx
+{
+    int rb = 0;  ///< Lanes (row bytes).
+    int fwd = 0; ///< MacFwd neighbor-slice offset, normalized into [0, rb).
+    int32_t *acc = nullptr;
+    const uint8_t *aLo = nullptr, *aHi = nullptr;
+    const uint8_t *bLo = nullptr, *bHi = nullptr;
+    const uint8_t *pred0 = nullptr, *pred1 = nullptr;
+    uint8_t *predOut = nullptr; ///< CmpGtP0/P1 destination.
+    int32_t zA = 0, zB = 0;     ///< Data/weight zero offsets (runtime).
+    // OUT unit bindings.
+    uint8_t *outLo = nullptr, *outHi = nullptr;
+    const RequantEntry *rq = nullptr;
+    const std::array<uint8_t, 256> *luts = nullptr;
+    int outParam = 0; ///< CopyAcc32 quarter.
+};
+
+/**
+ * Operand context for one NDU issue slot. `out` is where the kernel
+ * writes: the destination register itself when the decoder proved no
+ * aliasing, else a scratch row the caller copies to `finalDst`.
+ * `offset` (the addressing register's byte field) is refreshed by the
+ * caller before each invocation.
+ */
+struct NduCtx
+{
+    int rb = 0;
+    const uint8_t *a = nullptr, *b = nullptr;
+    uint8_t *out = nullptr;
+    uint8_t *finalDst = nullptr;
+    const uint8_t *pred = nullptr; ///< MergeMask predicate row.
+    bool predInv = false;
+    int offset = 0;  ///< addr[reg].byte at execution time.
+    int stride = 0;  ///< Decoded stride bytes / rotate unused.
+    int phase = 0;   ///< Compress2 phase.
+    uint8_t imm = 0; ///< SplatImm byte (ctrl.imm & 0xff).
+};
+
+using NpuKernel = void (*)(const ExecCtx &);
+using OutKernel = void (*)(const ExecCtx &);
+using NduKernel = void (*)(const NduCtx &);
+
+/** Stable row/register pointers of one Machine, for plan binding. */
+struct PlanBindings
+{
+    int rb = 0;
+    int sliceBytes = 0;
+    int32_t *acc = nullptr;
+    uint8_t *n[4] = {};
+    uint8_t *outLo = nullptr, *outHi = nullptr;
+    uint8_t *dataLo = nullptr, *dataHi = nullptr;
+    uint8_t *weightLo = nullptr, *weightHi = nullptr;
+    uint8_t *immRow = nullptr;
+    uint8_t *pred[2] = {};
+    uint8_t *scratch = nullptr;
+    const RequantEntry *rqTable = nullptr;
+    const std::array<uint8_t, 256> *luts = nullptr;
+};
+
+/** The per-instruction execution plan stored in the decoded shadow. */
+struct ExecPlan
+{
+    NpuKernel npuKernel = nullptr; ///< Null: generic / special op.
+    OutKernel outKernel = nullptr;
+    NduKernel nduKernel[2] = {nullptr, nullptr};
+    ExecCtx ctx;
+    NduCtx ndu[2];
+    bool usesImm = false;      ///< Any slot reads RowSrc::Imm.
+    bool wideLatch = false;    ///< 16-bit planar row-pair latch needed.
+    bool repInvariant = false; ///< Eligible for the Rep fast path.
+    bool npuIsMac = false;     ///< Counts macOps (Mac/MacFwd).
+    uint8_t activeNduSlots = 0;
+    uint8_t enabledReads = 0;
+};
+
+/** Classify one decoded instruction and bind its specialized plan. */
+ExecPlan buildExecPlan(const Instruction &in, const PlanBindings &b);
+
+} // namespace ncore
+
+#endif // NCORE_NCORE_EXEC_SPECIALIZED_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/bf16.h"
@@ -21,6 +22,14 @@ signed10(uint32_t v)
                                           : int32_t(v));
 }
 
+/** NCORE_SIM_GENERIC=1 disables the specialized engine process-wide. */
+bool
+fastExecDefault()
+{
+    const char *env = std::getenv("NCORE_SIM_GENERIC");
+    return env == nullptr || env[0] == '\0' || env[0] == '0';
+}
+
 } // namespace
 
 Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
@@ -28,7 +37,8 @@ Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
     : cfg_(cfg), soc_(soc), rowBytes_(cfg.rowBytes()),
       dataRam_("dataRam", cfg.ramRows, rowBytes_, model_ecc),
       weightRam_("weightRam", cfg.ramRows, rowBytes_, model_ecc),
-      iram_(kPcSpace), decoded_(kPcSpace)
+      iram_(kPcSpace), decoded_(kPcSpace), plans_(kPcSpace),
+      fastExec_(fastExecDefault())
 {
     panic_if(rowBytes_ % 64 != 0, "row bytes must be a multiple of 64");
     for (auto &r : n_)
@@ -42,6 +52,7 @@ Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
     immRow_.assign(rowBytes_, 0);
     pred_[0].assign(rowBytes_, 1);
     pred_[1].assign(rowBytes_, 1);
+    nduScratch_.assign(rowBytes_, 0);
     acc_.assign(rowBytes_, 0);
 
     for (auto &e : rqTable_)
@@ -84,9 +95,41 @@ Machine::reset()
     nStepCredit_ = 0;
     std::fill(iram_.begin(), iram_.begin() + kRomBase,
               EncodedInstruction{});
-    for (int i = 0; i < kRomBase; ++i)
+    for (int i = 0; i < kRomBase; ++i) {
         decoded_[i] = Instruction{};
+        bindPlan(i);
+    }
     loadRom();
+}
+
+PlanBindings
+Machine::planBindings()
+{
+    PlanBindings b;
+    b.rb = rowBytes_;
+    b.sliceBytes = cfg_.sliceBytes;
+    b.acc = acc_.data();
+    for (int i = 0; i < 4; ++i)
+        b.n[i] = n_[i].data();
+    b.outLo = outLo_.data();
+    b.outHi = outHi_.data();
+    b.dataLo = dataLo_.data();
+    b.dataHi = dataHi_.data();
+    b.weightLo = weightLo_.data();
+    b.weightHi = weightHi_.data();
+    b.immRow = immRow_.data();
+    b.pred[0] = pred_[0].data();
+    b.pred[1] = pred_[1].data();
+    b.scratch = nduScratch_.data();
+    b.rqTable = rqTable_.data();
+    b.luts = luts_.data();
+    return b;
+}
+
+void
+Machine::bindPlan(int idx)
+{
+    plans_[idx] = buildExecPlan(decoded_[idx], planBindings());
 }
 
 // --------------------------------------------------------------------
@@ -109,6 +152,7 @@ Machine::writeIram(int bank, const std::vector<EncodedInstruction> &code,
     for (size_t i = 0; i < code.size(); ++i) {
         iram_[base + i] = code[i];
         decoded_[base + i] = decodeInstruction(code[i]);
+        bindPlan(base + int(i));
     }
 }
 
@@ -240,6 +284,7 @@ Machine::step()
 {
     panic_if(!running_, "step() on a halted Ncore");
     const Instruction &in = decoded_[pc_];
+    ExecPlan &plan = plans_[pc_];
 
     uint64_t cost = 0;
     uint64_t reps = 1;
@@ -305,9 +350,21 @@ Machine::step()
             body_cost = 4;
     }
 
-    for (uint64_t r = 0; r < reps; ++r) {
-        execBody(in);
-        ++perf_.instructions;
+    if (fastExec_) {
+        if (reps > 1 && plan.repInvariant) {
+            execRepBodyFast(in, plan, reps);
+            perf_.instructions += reps;
+        } else {
+            for (uint64_t r = 0; r < reps; ++r) {
+                execBodyFast(in, plan);
+                ++perf_.instructions;
+            }
+        }
+    } else {
+        for (uint64_t r = 0; r < reps; ++r) {
+            execBody(in);
+            ++perf_.instructions;
+        }
     }
     cost += reps * body_cost;
 
@@ -373,6 +430,106 @@ Machine::execBody(const Instruction &in)
     postIncrement(in);
 }
 
+// --------------------------------------------------------------------
+// Specialized fast path (see exec_specialized.h). Architecturally
+// bit-identical to execBody, including perf-counter accounting.
+// --------------------------------------------------------------------
+
+void
+Machine::execNduSlotFast(const NduSlot &slot, NduKernel kern,
+                         NduCtx &ctx, uint32_t ctrl_imm)
+{
+    if (slot.op == NduOp::None)
+        return;
+    if (!kern) {
+        execNdu(slot, ctrl_imm); // Unresolvable operands: generic panics.
+        return;
+    }
+    ++perf_.nduOps;
+    ctx.offset = addr_[slot.addrReg].byte;
+    kern(ctx);
+    if (ctx.out != ctx.finalDst)
+        std::memcpy(ctx.finalDst, ctx.out, size_t(rowBytes_));
+}
+
+void
+Machine::execNpuFast(ExecPlan &plan)
+{
+    plan.ctx.zA = dataZeroOff_;
+    plan.ctx.zB = weightZeroOff_;
+    plan.npuKernel(plan.ctx);
+    if (plan.npuIsMac)
+        perf_.macOps += uint64_t(rowBytes_);
+}
+
+void
+Machine::execBodyFast(const Instruction &in, ExecPlan &plan)
+{
+    latchReads(in, plan.wideLatch);
+    if (plan.usesImm)
+        std::fill(immRow_.begin(), immRow_.end(),
+                  uint8_t(in.ctrl.imm & 0xff));
+    execNduSlotFast(in.ndu0, plan.nduKernel[0], plan.ndu[0],
+                    in.ctrl.imm);
+    execNduSlotFast(in.ndu1, plan.nduKernel[1], plan.ndu[1],
+                    in.ctrl.imm);
+    if (in.npu.op != NpuOp::None) {
+        if (plan.npuKernel)
+            execNpuFast(plan);
+        else
+            execNpu(in.npu);
+    }
+    if (in.out.op != OutOp::None) {
+        if (plan.outKernel)
+            plan.outKernel(plan.ctx);
+        else
+            execOut(in.out);
+    }
+    execWrite(in.write);
+    postIncrement(in);
+}
+
+/**
+ * Rep fast path: the plan proved the body's non-accumulator inputs are
+ * constant across repetitions (no post-increments, no write-back, NPU
+ * touches only the accumulators). Latch and the NDU slots run once, the
+ * NPU kernel runs back to back, and OUT derives its rows once from the
+ * final accumulator state — bit-identical to executing the body `reps`
+ * times, including the perf counters.
+ */
+void
+Machine::execRepBodyFast(const Instruction &in, ExecPlan &plan,
+                         uint64_t reps)
+{
+    latchReads(in, plan.wideLatch);
+    if (plan.usesImm)
+        std::fill(immRow_.begin(), immRow_.end(),
+                  uint8_t(in.ctrl.imm & 0xff));
+    execNduSlotFast(in.ndu0, plan.nduKernel[0], plan.ndu[0],
+                    in.ctrl.imm);
+    execNduSlotFast(in.ndu1, plan.nduKernel[1], plan.ndu[1],
+                    in.ctrl.imm);
+    if (plan.npuKernel) {
+        plan.ctx.zA = dataZeroOff_;
+        plan.ctx.zB = weightZeroOff_;
+        for (uint64_t r = 0; r < reps; ++r)
+            plan.npuKernel(plan.ctx);
+        if (plan.npuIsMac)
+            perf_.macOps += reps * uint64_t(rowBytes_);
+    } else if (in.npu.op != NpuOp::None) {
+        execNpu(in.npu); // AccZero / AccLoadBias: idempotent.
+    }
+    if (in.out.op != OutOp::None) {
+        if (plan.outKernel)
+            plan.outKernel(plan.ctx);
+        else
+            execOut(in.out);
+    }
+    // write.enable and all post-increments are provably absent here.
+    perf_.ramReads += (reps - 1) * plan.enabledReads;
+    perf_.nduOps += (reps - 1) * plan.activeNduSlots;
+}
+
 void
 Machine::latchReads(const Instruction &in)
 {
@@ -387,6 +544,12 @@ Machine::latchReads(const Instruction &in)
                  (in.npu.type == LaneType::I16 ||
                   in.npu.type == LaneType::BF16)) ||
                 uses_hi(in.ndu0) || uses_hi(in.ndu1);
+    latchReads(in, wide);
+}
+
+void
+Machine::latchReads(const Instruction &in, bool wide)
+{
     if (in.dataRead.enable) {
         int row = addr_[in.dataRead.reg].row;
         std::memcpy(dataLo_.data(), dataRam_.readRow(row), rowBytes_);
@@ -468,10 +631,8 @@ Machine::execNdu(const NduSlot &slot, uint32_t ctrl_imm)
         return;
     }
 
-    // Compute into a scratch row first: dst may alias a source.
-    static thread_local std::vector<uint8_t> scratch;
-    scratch.resize(rb);
-    uint8_t *d = scratch.data();
+    // Compute into the scratch row first: dst may alias a source.
+    uint8_t *d = nduScratch_.data();
 
     switch (slot.op) {
       case NduOp::Bypass: {
@@ -643,7 +804,8 @@ Machine::execNpu(const NpuSlot &npu)
                 float fa = floatLane(alo, ahi, ai);
                 float fb = floatLane(blo, bhi, i);
                 float fc = std::bit_cast<float>(acc_[i]);
-                acc_[i] = std::bit_cast<int32_t>(fc + fa * fb);
+                acc_[i] = std::bit_cast<int32_t>(
+                    canonicalizeNaN(fc + fa * fb));
             }
             perf_.macOps += uint64_t(rb);
             break;
@@ -658,9 +820,9 @@ Machine::execNpu(const NpuSlot &npu)
                 float fc = std::bit_cast<float>(acc_[i]);
                 float r = fc;
                 if (npu.op == NpuOp::Add)
-                    r = fc + fa;
+                    r = canonicalizeNaN(fc + fa);
                 else if (npu.op == NpuOp::Sub)
-                    r = fc - fa;
+                    r = canonicalizeNaN(fc - fa);
                 else if (npu.op == NpuOp::Min)
                     r = std::min(fc, fa);
                 else
@@ -739,7 +901,7 @@ Machine::execOut(const OutSlot &out)
     const RequantEntry &e = rqTable_[out.rqIndex];
 
     auto applyLut = [&](int32_t v) -> int32_t {
-        int lut_id = e.lutId;
+        int lut_id = e.lutId & 3;
         uint8_t idx;
         if (e.outType == DType::UInt8)
             idx = satNarrowU8(v);
@@ -903,6 +1065,7 @@ Machine::loadRom()
     for (size_t i = 0; i < rom.size(); ++i) {
         iram_[kRomBase + i] = encodeInstruction(rom[i]);
         decoded_[kRomBase + i] = rom[i];
+        bindPlan(kRomBase + int(i));
     }
 }
 

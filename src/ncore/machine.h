@@ -39,6 +39,7 @@
 #include "isa/encoding.h"
 #include "isa/instruction.h"
 #include "ncore/debug.h"
+#include "ncore/exec_specialized.h"
 #include "ncore/ram.h"
 #include "soc/dma.h"
 #include "soc/sysmem.h"
@@ -159,6 +160,34 @@ class Machine : public RamRowPort
     /** Total cycles since reset. */
     uint64_t cycles() const { return perf_.cycles; }
 
+    // --- Execution engine selection --------------------------------------
+
+    /**
+     * Force the generic interpreter instead of the pre-decoded
+     * specialized engine (see exec_specialized.h). Also settable for a
+     * whole process with NCORE_SIM_GENERIC=1 in the environment. Both
+     * engines are architecturally bit-identical; the generic path
+     * exists for debugging and differential testing.
+     */
+    void setGenericExec(bool generic) { fastExec_ = !generic; }
+    bool usingFastPath() const { return fastExec_; }
+
+    // --- Architectural state peeks (differential testing / debug) --------
+
+    const std::vector<int32_t> &accState() const { return acc_; }
+    const std::vector<uint8_t> &predState(int i) const
+    {
+        return pred_[i & 1];
+    }
+    const std::vector<uint8_t> &nRegState(int i) const
+    {
+        return n_[i & 3];
+    }
+    const std::vector<uint8_t> &outState(bool hi) const
+    {
+        return hi ? outHi_ : outLo_;
+    }
+
     // --- RamRowPort (DMA side) ------------------------------------------
 
     void dmaWriteRow(bool weight_ram, uint32_t row,
@@ -181,15 +210,24 @@ class Machine : public RamRowPort
     uint64_t step();                     ///< Returns cycles consumed.
     void execCtrlPre(const Instruction &in, uint64_t &extra_cycles);
     void execBody(const Instruction &in);
+    void execBodyFast(const Instruction &in, ExecPlan &plan);
+    void execRepBodyFast(const Instruction &in, ExecPlan &plan,
+                         uint64_t reps);
+    void execNduSlotFast(const NduSlot &slot, NduKernel kern,
+                         NduCtx &ctx, uint32_t ctrl_imm);
+    void execNpuFast(ExecPlan &plan);
     void execNdu(const NduSlot &slot, uint32_t ctrl_imm);
     void execNpu(const NpuSlot &npu);
     void execOut(const OutSlot &out);
     void execWrite(const WriteSlot &w);
     void latchReads(const Instruction &in);
+    void latchReads(const Instruction &in, bool wide);
     void bumpByte(int reg);
     void postIncrement(const Instruction &in);
     void advancePcWithCallback();
     int advancePcNoCallback(int pc) const;
+    PlanBindings planBindings();
+    void bindPlan(int idx);
 
     const uint8_t *resolveSrc(RowSrc s) const;
     const uint8_t *resolveSrcHi(RowSrc s) const;
@@ -211,6 +249,7 @@ class Machine : public RamRowPort
 
     std::vector<EncodedInstruction> iram_;   ///< kPcSpace encoded slots.
     std::vector<Instruction> decoded_;       ///< Decoded shadow.
+    std::vector<ExecPlan> plans_;            ///< Specialized exec plans.
 
     // Row registers.
     Row n_[4];
@@ -219,6 +258,7 @@ class Machine : public RamRowPort
     Row weightLo_, weightHi_;
     Row immRow_;
     Row pred_[2];
+    Row nduScratch_; ///< Aliasing-safe NDU compute row (one per Machine).
     std::vector<int32_t> acc_;
 
     std::array<AddrReg, 8> addr_{};
@@ -231,6 +271,7 @@ class Machine : public RamRowPort
 
     int pc_ = 0;
     bool running_ = false;
+    bool fastExec_ = true; ///< Specialized engine (vs generic interpreter).
 
     std::unique_ptr<SystemMemory> ownedMem_;
     SystemMemory *sysmem_;

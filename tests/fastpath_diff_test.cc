@@ -1,0 +1,693 @@
+/**
+ * @file
+ * Differential fuzzing of the specialized execution engine against the
+ * generic interpreter (see src/ncore/exec_specialized.h): random VLIW
+ * programs run through both engines must produce bit-identical RAM
+ * contents, accumulators, predicates, N/OUT registers, perf counters
+ * and cycle counts. This is the enforcement mechanism behind the
+ * fast path's equivalence guarantee.
+ *
+ * The generator tracks the architectural address-register state of the
+ * program it is emitting (rows, byte offsets, increments, circular
+ * wrap), so it can keep row accesses inside the initialized window and
+ * rotate amounts within the 64 B/clock crossbar limit — everything the
+ * generic interpreter itself would fault on — while still exercising
+ * post-increments, circular addressing, Rep sequencing (both the
+ * rep-invariant fast path and the per-rep path), predication, zero
+ * offsets, all NPU lane types and every NDU/OUT operation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/machine.h"
+#include "common/rng.h"
+#include "isa/encoding.h"
+#include "ncore/machine.h"
+
+namespace ncore {
+namespace {
+
+constexpr int kRows = 128;   ///< Initialized RAM window (rows 0..127).
+constexpr int kRowSafeLo = 10, kRowSafeHi = 100;
+
+/** Generator-side model of one address register (mirrors AddrReg). */
+struct TrackedAddr
+{
+    int32_t row = 0;
+    int32_t byte = 0;
+    int16_t rowInc = 0;
+    int16_t byteInc = 0;
+    uint32_t wrap = 0;
+    uint32_t iter = 0;
+};
+
+class ProgramGen
+{
+  public:
+    explicit ProgramGen(uint64_t seed, int row_bytes)
+        : rng_(seed), rb_(row_bytes)
+    {
+    }
+
+    std::vector<Instruction>
+    generate(int body_instrs)
+    {
+        prog_.clear();
+        for (int i = 0; i < body_instrs; ++i) {
+            switch (rng_.nextBelow(10)) {
+              case 0:
+              case 1:
+                emitAddrSetup();
+                break;
+              case 2:
+                emitCtrlMisc();
+                break;
+              default:
+                emitBody();
+                break;
+            }
+        }
+        Instruction halt;
+        halt.ctrl.op = CtrlOp::Halt;
+        prog_.push_back(halt);
+        return prog_;
+    }
+
+  private:
+    uint32_t rnd(uint32_t n) { return rng_.nextBelow(n); }
+    bool chance(uint32_t pct) { return rnd(100) < pct; }
+
+    void
+    emit(const Instruction &in)
+    {
+        prog_.push_back(in);
+        applyEffects(in);
+    }
+
+    /** Mirror the machine's ctrl/post-increment addressing semantics. */
+    void
+    applyEffects(const Instruction &in)
+    {
+        uint32_t reps = 1;
+        switch (in.ctrl.op) {
+          case CtrlOp::Rep:
+            reps = std::max<uint32_t>(in.ctrl.imm, 1);
+            break;
+          case CtrlOp::SetAddrRow:
+            addr_[in.ctrl.reg].row = int32_t(in.ctrl.imm);
+            break;
+          case CtrlOp::SetAddrByte:
+            addr_[in.ctrl.reg].byte = int32_t(in.ctrl.imm);
+            addr_[in.ctrl.reg].iter = 0;
+            break;
+          case CtrlOp::SetAddrInc: {
+            uint32_t imm = in.ctrl.imm;
+            auto s10 = [](uint32_t v) {
+                v &= 0x3ff;
+                return int16_t(v & 0x200 ? int32_t(v) - 0x400
+                                         : int32_t(v));
+            };
+            addr_[in.ctrl.reg].rowInc = s10(imm >> 10);
+            addr_[in.ctrl.reg].byteInc = s10(imm);
+            break;
+          }
+          case CtrlOp::SetAddrWrap:
+            addr_[in.ctrl.reg].wrap = in.ctrl.imm;
+            addr_[in.ctrl.reg].iter = 0;
+            break;
+          default:
+            break;
+        }
+        for (uint32_t r = 0; r < reps; ++r) {
+            if (in.dataRead.enable && in.dataRead.postInc)
+                addr_[in.dataRead.reg].row +=
+                    addr_[in.dataRead.reg].rowInc;
+            if (in.weightRead.enable && in.weightRead.postInc)
+                addr_[in.weightRead.reg].row +=
+                    addr_[in.weightRead.reg].rowInc;
+            if (in.ndu0.op != NduOp::None && in.ndu0.addrInc)
+                bump(in.ndu0.addrReg);
+            if (in.ndu1.op != NduOp::None && in.ndu1.addrInc)
+                bump(in.ndu1.addrReg);
+            if (in.write.enable && in.write.postInc)
+                addr_[in.write.addrReg].row +=
+                    addr_[in.write.addrReg].rowInc;
+        }
+    }
+
+    void
+    bump(int reg)
+    {
+        TrackedAddr &a = addr_[reg];
+        a.byte += a.byteInc;
+        if (a.wrap > 0 && ++a.iter >= a.wrap) {
+            a.iter = 0;
+            a.byte -= int32_t(a.byteInc) * int32_t(a.wrap);
+            a.row += a.rowInc;
+        }
+    }
+
+    void
+    emitAddrSetup()
+    {
+        Instruction in;
+        int reg = int(rnd(7)); // Regs 0..6; reg 7 is the rotate register.
+        switch (rnd(4)) {
+          case 0:
+            in.ctrl.op = CtrlOp::SetAddrRow;
+            in.ctrl.imm = kRowSafeLo + rnd(kRowSafeHi - kRowSafeLo);
+            break;
+          case 1:
+            in.ctrl.op = CtrlOp::SetAddrByte;
+            in.ctrl.imm = rnd(4096);
+            break;
+          case 2: {
+            in.ctrl.op = CtrlOp::SetAddrInc;
+            // rowInc in {-1,0,1}, byteInc in [-4,4], 10-bit fields.
+            uint32_t row_inc = rnd(3) == 0 ? 0x3ff : rnd(2);
+            uint32_t byte_inc = (rnd(9) + 0x400 - 4) & 0x3ff;
+            in.ctrl.imm = (row_inc << 10) | byte_inc;
+            break;
+          }
+          default:
+            in.ctrl.op = CtrlOp::SetAddrWrap;
+            in.ctrl.imm = rnd(5);
+            break;
+        }
+        in.ctrl.reg = uint8_t(reg);
+        emit(in);
+    }
+
+    void
+    emitCtrlMisc()
+    {
+        Instruction in;
+        switch (rnd(3)) {
+          case 0:
+            in.ctrl.op = CtrlOp::SetZeroOff;
+            in.ctrl.imm = rnd(1 << 16);
+            break;
+          case 1:
+            in.ctrl.op = CtrlOp::Event;
+            in.ctrl.imm = rnd(1 << 20);
+            break;
+          default:
+            in.ctrl.op = CtrlOp::DmaFence; // No queue busy: free.
+            in.ctrl.reg = uint8_t(rnd(4));
+            break;
+        }
+        emit(in);
+    }
+
+    /** Re-center a register's row if any rep could leave the window. */
+    void
+    ensureRowSafe(int reg)
+    {
+        if (addr_[reg].row < kRowSafeLo || addr_[reg].row > kRowSafeHi) {
+            Instruction fix;
+            fix.ctrl.op = CtrlOp::SetAddrRow;
+            fix.ctrl.reg = uint8_t(reg);
+            fix.ctrl.imm = kRowSafeLo + rnd(kRowSafeHi - kRowSafeLo);
+            emit(fix);
+        }
+    }
+
+    /** Byte offset must be non-negative for the gather-class NDU ops. */
+    void
+    ensureByteSafe(int reg)
+    {
+        if (addr_[reg].byte < 64) {
+            Instruction fix;
+            fix.ctrl.op = CtrlOp::SetAddrByte;
+            fix.ctrl.reg = uint8_t(reg);
+            fix.ctrl.imm = 64 + rnd(3900);
+            emit(fix);
+        }
+    }
+
+    RowSrc
+    narrowSrc()
+    {
+        static constexpr RowSrc kSrcs[] = {
+            RowSrc::DataRead, RowSrc::WeightRead, RowSrc::Imm,
+            RowSrc::N0, RowSrc::N1, RowSrc::N2, RowSrc::N3,
+            RowSrc::OutLo, RowSrc::OutHi, RowSrc::DataReadHi,
+            RowSrc::WeightReadHi,
+        };
+        return kSrcs[rnd(std::size(kSrcs))];
+    }
+
+    RowSrc
+    wideSrc()
+    {
+        static constexpr RowSrc kSrcs[] = {
+            RowSrc::DataRead, RowSrc::WeightRead, RowSrc::N0,
+            RowSrc::N2, RowSrc::OutLo,
+        };
+        return kSrcs[rnd(std::size(kSrcs))];
+    }
+
+    void
+    fillNdu(NduSlot &n)
+    {
+        static constexpr NduOp kOps[] = {
+            NduOp::Bypass, NduOp::Rotate, NduOp::WindowGather,
+            NduOp::RepWindow, NduOp::GroupBcast, NduOp::Compress2,
+            NduOp::MergeMask, NduOp::SplatImm, NduOp::LoadMask,
+        };
+        n.op = kOps[rnd(std::size(kOps))];
+        n.srcA = narrowSrc();
+        n.srcB = narrowSrc();
+        n.dst = uint8_t(rnd(4));
+        n.addrReg = uint8_t(rnd(7));
+        n.addrInc = chance(30);
+        switch (n.op) {
+          case NduOp::WindowGather:
+          case NduOp::RepWindow:
+          case NduOp::GroupBcast:
+            n.param = uint8_t(rnd(6)); // NduStride S0..S256.
+            ensureByteSafe(n.addrReg);
+            break;
+          case NduOp::Compress2:
+            n.param = uint8_t(rnd(2));
+            break;
+          case NduOp::MergeMask:
+            n.param = uint8_t(rnd(4));
+            break;
+          case NduOp::Rotate:
+            // The rotate register (7) is pinned to a legal amount.
+            n.addrReg = 7;
+            n.addrInc = false;
+            {
+                Instruction fix;
+                fix.ctrl.op = CtrlOp::SetAddrByte;
+                fix.ctrl.reg = 7;
+                fix.ctrl.imm = chance(50) ? rnd(65) : 4095 - rnd(64);
+                emit(fix);
+            }
+            break;
+          default:
+            n.param = uint8_t(rnd(64));
+            break;
+        }
+    }
+
+    void
+    fillNpu(NpuSlot &npu)
+    {
+        static constexpr NpuOp kOps[] = {
+            NpuOp::Mac, NpuOp::Mac, NpuOp::Mac, NpuOp::MacFwd,
+            NpuOp::Add, NpuOp::Sub, NpuOp::Min, NpuOp::Max,
+            NpuOp::And, NpuOp::Or, NpuOp::Xor, NpuOp::AccZero,
+            NpuOp::AccLoadBias, NpuOp::CmpGtP0, NpuOp::CmpGtP1,
+        };
+        npu.op = kOps[rnd(std::size(kOps))];
+        static constexpr LaneType kTypes[] = {
+            LaneType::I8, LaneType::U8, LaneType::U8, LaneType::I16,
+            LaneType::BF16,
+        };
+        npu.type = kTypes[rnd(std::size(kTypes))];
+        if (npu.type == LaneType::BF16) {
+            static constexpr NpuOp kBf16Ops[] = {
+                NpuOp::Mac, NpuOp::MacFwd, NpuOp::Add, NpuOp::Sub,
+                NpuOp::Min, NpuOp::Max,
+            };
+            npu.op = kBf16Ops[rnd(std::size(kBf16Ops))];
+        }
+        bool wide = npu.type == LaneType::I16 ||
+                    npu.type == LaneType::BF16;
+        npu.a = wide ? wideSrc() : narrowSrc();
+        npu.b = wide ? wideSrc() : narrowSrc();
+        npu.zeroOff = chance(40);
+        npu.pred = Pred(rnd(4));
+        if (npu.op == NpuOp::AccLoadBias) {
+            npu.type = LaneType::I8; // Cost class 1; mode in b.
+            npu.a = narrowSrc();
+            npu.b = RowSrc(rnd(5)); // BiasMode Rep64..Quarter3.
+        }
+    }
+
+    void
+    emitBody()
+    {
+        Instruction in;
+        if (chance(40)) {
+            in.ctrl.op = CtrlOp::Rep;
+            in.ctrl.imm = 2 + rnd(3);
+        } else if (chance(25)) {
+            in.ctrl.imm = rnd(256); // Imm splat byte with CtrlOp::None.
+        }
+
+        if (chance(60)) {
+            in.dataRead.enable = true;
+            in.dataRead.reg = uint8_t(rnd(7));
+            in.dataRead.postInc = chance(30);
+            ensureRowSafe(in.dataRead.reg);
+        }
+        if (chance(50)) {
+            in.weightRead.enable = true;
+            in.weightRead.reg = uint8_t(rnd(7));
+            in.weightRead.postInc = chance(30);
+            ensureRowSafe(in.weightRead.reg);
+        }
+        if (chance(70))
+            fillNdu(in.ndu0);
+        if (chance(40))
+            fillNdu(in.ndu1);
+        if (chance(75))
+            fillNpu(in.npu);
+        if (chance(50)) {
+            static constexpr OutOp kOps[] = {
+                OutOp::Requant8, OutOp::Requant16, OutOp::StoreBf16,
+                OutOp::CopyAcc32, OutOp::ActOnly8,
+            };
+            in.out.op = kOps[rnd(std::size(kOps))];
+            in.out.act = ActFn(rnd(5));
+            in.out.rqIndex = uint8_t(rnd(8));
+            in.out.param = uint8_t(rnd(4));
+        }
+        if (chance(35)) {
+            in.write.enable = true;
+            in.write.weightRam = chance(50);
+            in.write.addrReg = uint8_t(rnd(7));
+            in.write.postInc = chance(30);
+            in.write.src = narrowSrc();
+            ensureRowSafe(in.write.addrReg);
+        }
+        emit(in);
+    }
+
+    Rng rng_;
+    int rb_;
+    std::vector<Instruction> prog_;
+    TrackedAddr addr_[8];
+};
+
+class FastPathDiff : public ::testing::Test
+{
+  protected:
+    FastPathDiff()
+        : fast_(chaNcoreConfig(), chaSocConfig()),
+          gen_(chaNcoreConfig(), chaSocConfig())
+    {
+        gen_.setGenericExec(true);
+    }
+
+    /** Program identical random machine state into both engines. */
+    void
+    seedState(Rng &rng)
+    {
+        fast_.reset();
+        gen_.reset();
+        fast_.setGenericExec(false);
+        gen_.setGenericExec(true);
+        std::vector<uint8_t> row(fast_.rowBytesInt());
+        for (int r = 0; r < kRows; ++r) {
+            for (auto &b : row)
+                b = uint8_t(rng.next64());
+            fast_.hostWriteRow(false, r, row.data());
+            gen_.hostWriteRow(false, r, row.data());
+            for (auto &b : row)
+                b = uint8_t(rng.next64());
+            fast_.hostWriteRow(true, r, row.data());
+            gen_.hostWriteRow(true, r, row.data());
+        }
+        for (int i = 0; i < 8; ++i) {
+            RequantEntry e;
+            e.rq.multiplier =
+                (1 << 29) + int32_t(rng.nextBelow((1u << 31) - (1u << 29)));
+            e.rq.shift = int8_t(int(rng.nextBelow(13)) - 4);
+            e.rq.offset = int32_t(rng.nextBelow(384)) - 128;
+            e.outType = rng.nextBelow(2) ? DType::UInt8 : DType::Int8;
+            int32_t a = int32_t(rng.nextBelow(700)) - 300;
+            int32_t b = int32_t(rng.nextBelow(700)) - 300;
+            e.actMin = std::min(a, b);
+            e.actMax = std::max(a, b);
+            e.lutId = uint8_t(rng.nextBelow(4));
+            fast_.writeRequantEntry(i, e);
+            gen_.writeRequantEntry(i, e);
+        }
+        for (int l = 0; l < 4; ++l) {
+            std::array<uint8_t, 256> lut;
+            for (auto &b : lut)
+                b = uint8_t(rng.next64());
+            fast_.writeLut(l, lut);
+            gen_.writeLut(l, lut);
+        }
+    }
+
+    void
+    runBoth(const std::vector<Instruction> &prog)
+    {
+        std::vector<EncodedInstruction> enc;
+        enc.reserve(prog.size());
+        for (const Instruction &in : prog)
+            enc.push_back(encodeInstruction(in));
+        fast_.writeIram(0, enc);
+        gen_.writeIram(0, enc);
+        fast_.start(0);
+        gen_.start(0);
+        RunResult rf = fast_.run(1 << 22);
+        RunResult rg = gen_.run(1 << 22);
+        ASSERT_EQ(int(rf.reason), int(rg.reason));
+        ASSERT_EQ(rf.cycles, rg.cycles);
+    }
+
+    /** Full architectural-state comparison. */
+    void
+    compareState(uint64_t seed)
+    {
+        SCOPED_TRACE(testing::Message() << "seed " << seed);
+        const PerfCounters &pf = fast_.perf();
+        const PerfCounters &pg = gen_.perf();
+        EXPECT_EQ(pf.cycles, pg.cycles);
+        EXPECT_EQ(pf.instructions, pg.instructions);
+        EXPECT_EQ(pf.macOps, pg.macOps);
+        EXPECT_EQ(pf.nduOps, pg.nduOps);
+        EXPECT_EQ(pf.ramReads, pg.ramReads);
+        EXPECT_EQ(pf.ramWrites, pg.ramWrites);
+        EXPECT_EQ(pf.dmaFenceStalls, pg.dmaFenceStalls);
+
+        ASSERT_EQ(0, std::memcmp(fast_.accState().data(),
+                                 gen_.accState().data(),
+                                 fast_.accState().size() * 4));
+        for (int p = 0; p < 2; ++p)
+            EXPECT_EQ(fast_.predState(p), gen_.predState(p))
+                << "pred " << p;
+        for (int n = 0; n < 4; ++n)
+            EXPECT_EQ(fast_.nRegState(n), gen_.nRegState(n))
+                << "n" << n;
+        EXPECT_EQ(fast_.outState(false), gen_.outState(false));
+        EXPECT_EQ(fast_.outState(true), gen_.outState(true));
+
+        std::vector<uint8_t> a(fast_.rowBytesInt());
+        std::vector<uint8_t> b(fast_.rowBytesInt());
+        for (int r = 0; r < kRows; ++r) {
+            for (bool w : {false, true}) {
+                fast_.hostReadRow(w, r, a.data());
+                gen_.hostReadRow(w, r, b.data());
+                ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size()))
+                    << (w ? "weight" : "data") << " row " << r;
+            }
+        }
+    }
+
+    Machine fast_;
+    Machine gen_;
+};
+
+TEST_F(FastPathDiff, EngineSelection)
+{
+    EXPECT_TRUE(fast_.usingFastPath());
+    EXPECT_FALSE(gen_.usingFastPath());
+    setenv("NCORE_SIM_GENERIC", "1", 1);
+    Machine forced(chaNcoreConfig(), chaSocConfig());
+    unsetenv("NCORE_SIM_GENERIC");
+    EXPECT_FALSE(forced.usingFastPath());
+    Machine dflt(chaNcoreConfig(), chaSocConfig());
+    EXPECT_TRUE(dflt.usingFastPath());
+}
+
+/** ≥1000 random programs, bit-identical across both engines. */
+TEST_F(FastPathDiff, RandomPrograms)
+{
+    constexpr int kPrograms = 1000;
+    Rng master(0x5eedc0de);
+    for (int i = 0; i < kPrograms; ++i) {
+        uint64_t seed = master.next64();
+        Rng rng(seed);
+        seedState(rng);
+        ProgramGen pgen(seed ^ 0x9e3779b97f4a7c15ull,
+                        fast_.rowBytesInt());
+        std::vector<Instruction> prog = pgen.generate(28);
+        ASSERT_LE(prog.size(), size_t(Machine::kBankInstrs));
+        runBoth(prog);
+        compareState(seed);
+        if (HasFatalFailure() || HasNonfatalFailure()) {
+            for (const Instruction &in : prog)
+                fprintf(stderr, "  %s\n", in.toString().c_str());
+            FAIL() << "divergence at program " << i << " seed " << seed;
+        }
+    }
+}
+
+/**
+ * Diagnostic (skipped unless NCORE_BISECT_SEED is set): re-generate the
+ * program for a failing RandomPrograms seed and step both engines in
+ * lockstep, reporting the first cycle at which the accumulators or any
+ * register row diverge. Usage:
+ *   NCORE_BISECT_SEED=<seed> ./fastpath_diff_test \
+ *       --gtest_filter='*BisectSeed*' --gtest_also_run_disabled_tests
+ */
+TEST_F(FastPathDiff, DISABLED_BisectSeed)
+{
+    const char *s = getenv("NCORE_BISECT_SEED");
+    if (!s)
+        GTEST_SKIP() << "set NCORE_BISECT_SEED to use";
+    uint64_t seed = strtoull(s, nullptr, 10);
+    Rng rng(seed);
+    seedState(rng);
+    ProgramGen pgen(seed ^ 0x9e3779b97f4a7c15ull, fast_.rowBytesInt());
+    std::vector<Instruction> prog = pgen.generate(28);
+    std::vector<EncodedInstruction> enc;
+    for (const Instruction &in : prog)
+        enc.push_back(encodeInstruction(in));
+    fast_.writeIram(0, enc);
+    gen_.writeIram(0, enc);
+    fast_.setNStep(1);
+    gen_.setNStep(1);
+    fast_.start(0);
+    gen_.start(0);
+    for (const Instruction &in : prog)
+        fprintf(stderr, "  %s\n", in.toString().c_str());
+    while (fast_.running() && gen_.running()) {
+        fast_.run();
+        gen_.run();
+        ASSERT_EQ(fast_.cycles(), gen_.cycles());
+        for (int n = 0; n < 4; ++n)
+            ASSERT_EQ(fast_.nRegState(n), gen_.nRegState(n))
+                << "n" << n << " (pre-acc) at cycle " << fast_.cycles()
+                << " instr " << fast_.perf().instructions;
+        const int32_t *af = fast_.accState().data();
+        const int32_t *ag = gen_.accState().data();
+        int bad = 0;
+        for (size_t i = 0; i < fast_.accState().size(); ++i) {
+            if (af[i] != ag[i] && bad++ < 8)
+                fprintf(stderr,
+                        "acc[%zu] fast=%d gen=%d cycle=%llu instr=%llu\n",
+                        i, af[i], ag[i],
+                        (unsigned long long)fast_.cycles(),
+                        (unsigned long long)fast_.perf().instructions);
+        }
+        ASSERT_EQ(bad, 0) << bad << " divergent acc lanes";
+        for (int n = 0; n < 4; ++n)
+            ASSERT_EQ(fast_.nRegState(n), gen_.nRegState(n))
+                << "n" << n << " at cycle " << fast_.cycles();
+        ASSERT_EQ(fast_.outState(false), gen_.outState(false))
+            << "outLo at cycle " << fast_.cycles();
+        ASSERT_EQ(fast_.outState(true), gen_.outState(true))
+            << "outHi at cycle " << fast_.cycles();
+        for (int p = 0; p < 2; ++p)
+            ASSERT_EQ(fast_.predState(p), gen_.predState(p))
+                << "pred " << p << " at cycle " << fast_.cycles();
+    }
+    EXPECT_EQ(fast_.running(), gen_.running());
+}
+
+/** Hardware loops sequence identically through both engines. */
+TEST_F(FastPathDiff, LoopProgram)
+{
+    Rng rng(7);
+    seedState(rng);
+    std::vector<Instruction> prog;
+    Instruction i0;
+    i0.ctrl.op = CtrlOp::SetAddrRow;
+    i0.ctrl.reg = 0;
+    i0.ctrl.imm = 16;
+    prog.push_back(i0);
+    Instruction i1;
+    i1.ctrl.op = CtrlOp::SetAddrInc;
+    i1.ctrl.reg = 0;
+    i1.ctrl.imm = 1u << 10; // rowInc 1, byteInc 0.
+    prog.push_back(i1);
+    Instruction lb;
+    lb.ctrl.op = CtrlOp::LoopBegin;
+    lb.ctrl.reg = 1;
+    lb.ctrl.imm = 9;
+    lb.npu.op = NpuOp::AccZero;
+    prog.push_back(lb);
+    Instruction mac;
+    mac.ctrl.op = CtrlOp::Rep;
+    mac.ctrl.imm = 5;
+    mac.dataRead.enable = true;
+    mac.dataRead.reg = 0;
+    mac.npu.op = NpuOp::Mac;
+    mac.npu.type = LaneType::I8;
+    mac.npu.a = RowSrc::DataRead;
+    mac.npu.b = RowSrc::DataRead;
+    prog.push_back(mac);
+    Instruction step;
+    step.dataRead.enable = true;
+    step.dataRead.reg = 0;
+    step.dataRead.postInc = true;
+    step.npu.op = NpuOp::Add;
+    step.npu.type = LaneType::U8;
+    step.npu.a = RowSrc::DataRead;
+    prog.push_back(step);
+    Instruction le;
+    le.ctrl.op = CtrlOp::LoopEnd;
+    le.ctrl.reg = 1;
+    le.out.op = OutOp::CopyAcc32;
+    prog.push_back(le);
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runBoth(prog);
+    compareState(7);
+}
+
+/** A Rep body with post-increments must take the per-rep path. */
+TEST_F(FastPathDiff, RepWithPostIncrement)
+{
+    Rng rng(11);
+    seedState(rng);
+    std::vector<Instruction> prog;
+    Instruction i0;
+    i0.ctrl.op = CtrlOp::SetAddrRow;
+    i0.ctrl.reg = 2;
+    i0.ctrl.imm = 20;
+    prog.push_back(i0);
+    Instruction i1;
+    i1.ctrl.op = CtrlOp::SetAddrInc;
+    i1.ctrl.reg = 2;
+    i1.ctrl.imm = 1u << 10;
+    prog.push_back(i1);
+    Instruction i2;
+    i2.npu.op = NpuOp::AccZero;
+    prog.push_back(i2);
+    Instruction mac;
+    mac.ctrl.op = CtrlOp::Rep;
+    mac.ctrl.imm = 40;
+    mac.dataRead.enable = true;
+    mac.dataRead.reg = 2;
+    mac.dataRead.postInc = true; // Defeats rep-invariance.
+    mac.weightRead.enable = true;
+    mac.weightRead.reg = 2;
+    mac.npu.op = NpuOp::Mac;
+    mac.npu.type = LaneType::U8;
+    mac.npu.zeroOff = true;
+    mac.npu.a = RowSrc::DataRead;
+    mac.npu.b = RowSrc::WeightRead;
+    prog.push_back(mac);
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runBoth(prog);
+    compareState(11);
+}
+
+} // namespace
+} // namespace ncore
