@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tiny streaming JSON emitter shared by the BENCH_*.json writers
+ * (micro_sim -> BENCH_sim.json, serve_bench -> BENCH_serve.json).
+ * Handles nesting, comma placement and indentation so the benches
+ * only state structure and values.
+ */
+
+#ifndef NCORE_BENCH_JSON_UTIL_H
+#define NCORE_BENCH_JSON_UTIL_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ncore {
+
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(FILE *f) : f_(f) {}
+
+    /** Pending "key": prefix inside an object. */
+    JsonWriter &
+    key(const char *k)
+    {
+        prefix();
+        fprintf(f_, "\"%s\": ", k);
+        keyed_ = true;
+        return *this;
+    }
+
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    void
+    value(const char *s)
+    {
+        prefix();
+        fprintf(f_, "\"%s\"", s);
+    }
+    void value(const std::string &s) { value(s.c_str()); }
+    void
+    value(uint64_t v)
+    {
+        prefix();
+        fprintf(f_, "%llu", (unsigned long long)v);
+    }
+    void
+    value(int v)
+    {
+        prefix();
+        fprintf(f_, "%d", v);
+    }
+    void
+    value(bool v)
+    {
+        prefix();
+        fprintf(f_, v ? "true" : "false");
+    }
+    /** Double with an explicit printf format, e.g. "%.6f". */
+    void
+    value(double v, const char *fmt = "%.6g")
+    {
+        prefix();
+        fprintf(f_, fmt, v);
+    }
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    void
+    field(const char *k, T v)
+    {
+        key(k);
+        value(v);
+    }
+    void
+    field(const char *k, double v, const char *fmt)
+    {
+        key(k);
+        value(v, fmt);
+    }
+
+    /** Finish the document (newline; caller owns the FILE). */
+    void
+    finish()
+    {
+        fprintf(f_, "\n");
+    }
+
+  private:
+    void
+    open(char c)
+    {
+        prefix();
+        fprintf(f_, "%c", c);
+        stack_.push_back(false);
+    }
+
+    void
+    close(char c)
+    {
+        bool hadItems = stack_.back();
+        stack_.pop_back();
+        if (hadItems) {
+            fprintf(f_, "\n");
+            indent();
+        }
+        fprintf(f_, "%c", c);
+    }
+
+    /** Comma/newline/indent before an item; no-op after key(). */
+    void
+    prefix()
+    {
+        if (keyed_) {
+            keyed_ = false;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        if (stack_.back())
+            fprintf(f_, ",");
+        stack_.back() = true;
+        fprintf(f_, "\n");
+        indent();
+    }
+
+    void
+    indent()
+    {
+        for (size_t i = 0; i < stack_.size(); ++i)
+            fprintf(f_, "  ");
+    }
+
+    FILE *f_;
+    std::vector<bool> stack_;
+    bool keyed_ = false;
+};
+
+} // namespace ncore
+
+#endif // NCORE_BENCH_JSON_UTIL_H

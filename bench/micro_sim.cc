@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench/json_util.h"
 #include "common/ecc.h"
 #include "common/machine.h"
 #include "common/rng.h"
@@ -273,21 +274,25 @@ writeBenchSimJson()
         fprintf(stderr, "cannot write BENCH_sim.json\n");
         return;
     }
-    fprintf(f, "{\n  \"mac_pipeline\": [\n");
+    JsonWriter j(f);
+    j.beginObject();
+    j.key("mac_pipeline").beginArray();
     const MacMeasurement macs[] = {
         measureMacVariant("u8", LaneType::U8, Pred::None),
         measureMacVariant("u8_pred", LaneType::U8, Pred::P0),
         measureMacVariant("i16", LaneType::I16, Pred::None),
         measureMacVariant("bf16", LaneType::BF16, Pred::None),
     };
-    for (size_t i = 0; i < std::size(macs); ++i)
-        fprintf(f,
-                "    {\"name\": \"%s\", \"sim_cycles_per_s\": %.0f, "
-                "\"lane_macs_per_s\": %.0f, \"wall_s_per_run\": %.6f}%s\n",
-                macs[i].name, macs[i].simCyclesPerSec,
-                macs[i].laneMacsPerSec, macs[i].wallPerRun,
-                i + 1 < std::size(macs) ? "," : "");
-    fprintf(f, "  ],\n  \"profiles\": [\n");
+    for (const MacMeasurement &m : macs) {
+        j.beginObject();
+        j.field("name", m.name);
+        j.field("sim_cycles_per_s", m.simCyclesPerSec, "%.0f");
+        j.field("lane_macs_per_s", m.laneMacsPerSec, "%.0f");
+        j.field("wall_s_per_run", m.wallPerRun, "%.6f");
+        j.endObject();
+    }
+    j.endArray();
+    j.key("profiles").beginArray();
 
     if (!getenv("NCORE_BENCH_NO_PROFILES")) {
         using clock = std::chrono::steady_clock;
@@ -303,14 +308,20 @@ writeBenchSimJson()
             double wall =
                 std::chrono::duration<double>(clock::now() - t0).count();
             total += wall;
-            fprintf(f, "    {\"model\": \"%s\", \"wall_s\": %.3f},\n",
-                    p.model.c_str(), wall);
+            j.beginObject();
+            j.field("model", p.model);
+            j.field("wall_s", wall, "%.3f");
+            j.endObject();
         }
         std::remove(tmp_cache);
-        fprintf(f, "    {\"model\": \"total\", \"wall_s\": %.3f}\n",
-                total);
+        j.beginObject();
+        j.field("model", "total");
+        j.field("wall_s", total, "%.3f");
+        j.endObject();
     }
-    fprintf(f, "  ]\n}\n");
+    j.endArray();
+    j.endObject();
+    j.finish();
     fclose(f);
     fprintf(stderr, "wrote BENCH_sim.json\n");
 }

@@ -12,13 +12,17 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/machine.h"
 #include "gir/graph.h"
 #include "isa/encoding.h"
 #include "nkl/kernels.h"
 #include "nkl/layout.h"
+#include "soc/sysmem.h"
 
 namespace ncore {
 
@@ -95,6 +99,78 @@ struct Loadable
     std::vector<int> nodeAssignment;
     std::vector<CompiledSubgraph> subgraphs;
 };
+
+/**
+ * Per-subgraph program cache: the compiled instruction stream
+ * pre-segmented into IRAM-bank-sized chunks, so a runtime context can
+ * stream the double-buffered instruction RAM without re-chunking (and
+ * re-allocating) the program on every invoke.
+ */
+struct SubgraphProgramCache
+{
+    /// sg.code split into segments of at most bankInstrs instructions.
+    std::vector<std::vector<EncodedInstruction>> codeSegments;
+    /// Per input-band plan, per band: the band program, segmented.
+    std::vector<std::vector<std::vector<std::vector<EncodedInstruction>>>>
+        bandSegments;
+};
+
+/** Derived once per model; immutable and shareable across contexts. */
+struct ModelProgramCache
+{
+    int bankInstrs = 0;
+    std::vector<SubgraphProgramCache> subgraphs;
+};
+
+/** Build the program cache for one Loadable. */
+ModelProgramCache buildProgramCache(
+    const Loadable &ld, int bank_instrs = MachineConfig{}.iramEntries);
+
+/**
+ * An immutable loaded model shared by N runtime contexts: the Loadable
+ * (weights, requant tables, LUTs, programs) plus its derived program
+ * cache, built exactly once. Contexts driving machines that share one
+ * SystemMemory additionally share a single DRAM copy of any
+ * DMA-streamed weight image, so per-context load cost and memory are
+ * reduced to context state (scratchpad rows, descriptors, decode
+ * shadows).
+ *
+ * Ownership rule: a LoadedModel is reached only through
+ * std::shared_ptr<const LoadedModel>; it outlives every runtime bound
+ * to it and is never mutated after create() (the stream-image
+ * placement map is the one mutex-guarded lazy member).
+ */
+class LoadedModel
+{
+  public:
+    /** Take ownership of a compiled Loadable and derive its cache. */
+    static std::shared_ptr<const LoadedModel>
+    create(Loadable ld, int bank_instrs = MachineConfig{}.iramEntries);
+
+    const Loadable &loadable() const { return loadable_; }
+    const ModelProgramCache &programCache() const { return cache_; }
+
+    /**
+     * DRAM base per subgraph of the streamed weight image inside `mem`
+     * (0 for persistent-weight subgraphs). The image is allocated and
+     * written on the first call for a given SystemMemory; later
+     * contexts on the same memory reuse the same placement.
+     * Thread-safe.
+     */
+    const std::vector<uint64_t> &streamBases(SystemMemory &mem) const;
+
+  private:
+    LoadedModel(Loadable ld, int bank_instrs);
+
+    Loadable loadable_;
+    ModelProgramCache cache_;
+
+    mutable std::mutex streamMu_;
+    mutable std::unordered_map<SystemMemory *, std::vector<uint64_t>>
+        streamBases_;
+};
+
+using SharedModel = std::shared_ptr<const LoadedModel>;
 
 } // namespace ncore
 

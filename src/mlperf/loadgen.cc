@@ -35,4 +35,20 @@ runOffline(double steady_state_ips, int samples)
     return res;
 }
 
+OfflineResult
+runOffline(ServeEngine &engine, const ServeConfig &cfg, int queries,
+           ServeResult *detail)
+{
+    ServeConfig offline = cfg;
+    offline.mode = ServeConfig::Mode::Offline;
+    ServeResult sr = engine.run(offline, queries);
+    OfflineResult res;
+    res.samples = sr.queries;
+    res.seconds = sr.seconds;
+    res.ips = sr.ips;
+    if (detail)
+        *detail = std::move(sr);
+    return res;
+}
+
 } // namespace ncore

@@ -16,6 +16,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "serve/engine.h"
 
 namespace ncore {
 
@@ -51,6 +52,16 @@ SingleStreamResult runSingleStream(const SystemUnderTest &sut,
  * in the scenario bookkeeping.
  */
 OfflineResult runOffline(double steady_state_ips, int samples);
+
+/**
+ * Executed Offline scenario: drain `queries` queries through the
+ * multicore serving engine (real simulator inferences, virtual-time
+ * metrics) instead of the analytic pipeline model. `cfg.mode` is
+ * forced to Offline. The full serving trace is returned through
+ * `detail` when non-null.
+ */
+OfflineResult runOffline(ServeEngine &engine, const ServeConfig &cfg,
+                         int queries, ServeResult *detail = nullptr);
 
 } // namespace ncore
 

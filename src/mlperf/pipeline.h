@@ -76,8 +76,15 @@ observedIps(const WorkloadProfile &p, int cores)
 inline int
 coresToSaturate(const WorkloadProfile &p)
 {
+    // Degenerate profiles: with no x86 share one worker trivially
+    // keeps up, and with no Ncore share the coprocessor is never the
+    // bottleneck — either way a single worker saturates. Avoids the
+    // division below returning nonsense (or dividing by zero).
+    if (p.x86Seconds <= 0 || p.ncoreSeconds <= 0)
+        return 2; // 1 worker + the core driving Ncore.
     // Strictly exceed the Ncore rate, plus the core driving Ncore.
     int workers = int(p.x86Seconds / p.ncoreSeconds) + 1;
+    workers = std::max(workers, 1);
     return workers + 1;
 }
 

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
@@ -17,6 +18,16 @@ namespace ncore {
 namespace {
 
 constexpr const char *kCacheVersion = "ncore-profile-v3";
+
+/** Serializes every read/append of the on-disk profile cache, so
+ *  concurrent measureWorkload calls (tests, benches, the serving
+ *  engine warm-up) cannot interleave partial lines. */
+std::mutex &
+cacheMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
 
 const char *
 cacheKey(Workload w)
@@ -33,6 +44,7 @@ cacheKey(Workload w)
 std::optional<WorkloadProfile>
 readCache(const std::string &path, Workload w)
 {
+    std::lock_guard<std::mutex> lock(cacheMutex());
     std::ifstream in(path);
     if (!in)
         return std::nullopt;
@@ -59,21 +71,44 @@ readCache(const std::string &path, Workload w)
 void
 appendCache(const std::string &path, const WorkloadProfile &p)
 {
-    bool fresh = true;
+    // Atomic append: rebuild the whole file in a temp sibling and
+    // rename it over the original, under the cache mutex. A reader in
+    // another process either sees the old complete file or the new
+    // complete file, never a torn line.
+    std::lock_guard<std::mutex> lock(cacheMutex());
+    std::vector<std::string> lines;
     {
         std::ifstream in(path);
         std::string version;
         if (in && std::getline(in, version) &&
-            version == kCacheVersion)
-            fresh = false;
+            version == kCacheVersion) {
+            std::string line;
+            while (std::getline(in, line))
+                if (!line.empty())
+                    lines.push_back(line);
+        }
     }
-    std::ofstream out(path, fresh ? std::ios::trunc : std::ios::app);
-    if (fresh)
+    std::ostringstream entry;
+    entry << p.model << " " << p.ncoreSeconds << " " << p.x86Seconds
+          << " " << p.unhiddenSeconds << " "
+          << (p.batchingSupported ? 1 : 0) << " " << p.ncoreCycles
+          << " " << p.ncoreMacs << " " << p.dmaBytes;
+    lines.push_back(entry.str());
+
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
         out << kCacheVersion << "\n";
-    out << p.model << " " << p.ncoreSeconds << " " << p.x86Seconds
-        << " " << p.unhiddenSeconds << " "
-        << (p.batchingSupported ? 1 : 0) << " " << p.ncoreCycles << " "
-        << p.ncoreMacs << " " << p.dmaBytes << "\n";
+        for (const std::string &l : lines)
+            out << l << "\n";
+        if (!out) {
+            warn("cannot write profile cache temp file %s",
+                 tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        warn("cannot rename %s over %s", tmp.c_str(), path.c_str());
 }
 
 /** Profile one GIR CNN through the full stack. */

@@ -199,6 +199,9 @@ Machine::start(int pc)
     pc_ = pc;
     loopStack_.clear();
     running_ = true;
+    // Each program launch (re)binds the machine to the launching
+    // thread; run() enforces the binding below.
+    ownerThread_ = std::this_thread::get_id();
 }
 
 // --------------------------------------------------------------------
@@ -231,6 +234,14 @@ Machine::rowBytes() const
 RunResult
 Machine::run(uint64_t max_cycles)
 {
+    // A Machine is single-thread-affine per program launch: start()
+    // binds the launching thread, and only that thread may step the
+    // program. Sequential hand-off between threads (load on one,
+    // execute on another, synchronized through a queue or join) is
+    // fine; concurrent use of one Machine never is.
+    fatal_if(running_ && ownerThread_ != std::this_thread::get_id(),
+             "Machine::run from a thread other than the one that "
+             "called start(); a Machine is single-thread-affine");
     RunResult res;
     while (running_ && res.cycles < max_cycles) {
         uint64_t c = step();

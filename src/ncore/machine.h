@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/machine.h"
@@ -272,6 +273,9 @@ class Machine : public RamRowPort
     int pc_ = 0;
     bool running_ = false;
     bool fastExec_ = true; ///< Specialized engine (vs generic interpreter).
+    /// Thread that called start(); run() asserts single-thread
+    /// affinity per program launch (see run()).
+    std::thread::id ownerThread_;
 
     std::unique_ptr<SystemMemory> ownedMem_;
     SystemMemory *sysmem_;

@@ -2,6 +2,28 @@
 
 namespace ncore {
 
+namespace {
+
+/**
+ * The shared prefix-mask table is model-independent (row g holds the
+ * g-group prefix mask); build the 65 row images once per process
+ * instead of once per context load.
+ */
+const std::vector<std::vector<uint8_t>> &
+prefixMaskRowImages()
+{
+    static const std::vector<std::vector<uint8_t>> rows = [] {
+        std::vector<std::vector<uint8_t>> r;
+        r.reserve(65);
+        for (int g = 0; g <= 64; ++g)
+            r.push_back(prefixMaskRow(g));
+        return r;
+    }();
+    return rows;
+}
+
+} // namespace
+
 NcoreRuntime::NcoreRuntime(NcoreDriver &driver) : driver_(driver)
 {
     machine_ = &driver_.claim();
@@ -15,19 +37,59 @@ NcoreRuntime::~NcoreRuntime()
 void
 NcoreRuntime::loadModel(const Loadable &loadable)
 {
+    shared_.reset();
     model_ = &loadable;
-    streamBase_.assign(loadable.subgraphs.size(), 0);
+    ownCache_ = buildProgramCache(loadable, machine_->config().iramEntries);
+    cache_ = &ownCache_;
 
+    streamBase_.assign(loadable.subgraphs.size(), 0);
     for (size_t si = 0; si < loadable.subgraphs.size(); ++si) {
         const CompiledSubgraph &sg = loadable.subgraphs[si];
+        if (sg.weightsPersistent)
+            continue;
+        // Weights live in system DRAM; this context places its own
+        // copy (the shared-model path shares one placement instead).
+        uint64_t base = driver_.allocateDmaMemory(sg.streamImage.size());
+        streamBase_[si] = base;
+        machine_->sysmem().write(base, sg.streamImage.data(),
+                                 sg.streamImage.size());
+    }
+    loadImages();
+}
+
+void
+NcoreRuntime::loadModel(SharedModel model)
+{
+    fatal_if(!model, "loadModel on a null shared model");
+    shared_ = std::move(model);
+    model_ = &shared_->loadable();
+    cache_ = &shared_->programCache();
+    ownCache_ = ModelProgramCache{};
+    fatal_if(cache_->bankInstrs != machine_->config().iramEntries,
+             "shared program cache built for %d-entry IRAM banks, "
+             "device has %d",
+             cache_->bankInstrs, machine_->config().iramEntries);
+
+    // One DRAM image of streamed weights per SystemMemory, shared by
+    // every context whose machine is backed by that memory.
+    streamBase_ = shared_->streamBases(machine_->sysmem());
+    loadImages();
+}
+
+/** Per-context device-state load common to both paths: scratchpad mask
+ *  rows, requant tables, LUTs, persistent weights, DMA descriptors. */
+void
+NcoreRuntime::loadImages()
+{
+    for (size_t si = 0; si < model_->subgraphs.size(); ++si) {
+        const CompiledSubgraph &sg = model_->subgraphs[si];
 
         // Shared prefix-mask table (incl. the empty mask) plus any
         // layout-specific content masks.
-        for (int g = 0; g <= 64; ++g) {
-            auto row = prefixMaskRow(g);
+        const auto &prefix_rows = prefixMaskRowImages();
+        for (int g = 0; g <= 64; ++g)
             machine_->hostWriteRow(false, sg.masks.rowFor(g),
-                                   row.data());
-        }
+                                   prefix_rows[size_t(g)].data());
         for (const auto &kv : sg.extraMasks)
             machine_->hostWriteRow(false, kv.first,
                                    kv.second.data());
@@ -51,15 +113,11 @@ NcoreRuntime::loadModel(const Loadable &loadable)
                 machine_->hostWriteRow(
                     true, int(r), sg.persistentWeights.data() + r * 4096);
         } else {
-            // Weights live in system DRAM; the driver programs the
-            // descriptors and the program kicks them per inference.
-            fatal_if(si > 0 && !loadable.subgraphs[0].weightsPersistent,
+            // The stream image is already in DRAM (streamBase_); the
+            // driver programs this context's descriptors and the
+            // program kicks them per inference.
+            fatal_if(si > 0 && !model_->subgraphs[0].weightsPersistent,
                      "only one streaming subgraph per model supported");
-            uint64_t base = driver_.allocateDmaMemory(
-                sg.streamImage.size());
-            streamBase_[si] = base;
-            machine_->sysmem().write(base, sg.streamImage.data(),
-                                     sg.streamImage.size());
             for (size_t k = 0; k < sg.chunks.size(); ++k) {
                 const StreamChunk &ch = sg.chunks[k];
                 DmaDescriptor d;
@@ -67,7 +125,7 @@ NcoreRuntime::loadModel(const Loadable &loadable)
                 d.weightRam = true;
                 d.ramRow = ch.targetRow;
                 d.rowCount = ch.rows;
-                d.sysAddr = base + ch.dramOffset;
+                d.sysAddr = streamBase_[si] + ch.dramOffset;
                 d.queue = ch.queue;
                 driver_.writeDescriptor(int(k), d);
             }
@@ -76,21 +134,17 @@ NcoreRuntime::loadModel(const Loadable &loadable)
 }
 
 void
-NcoreRuntime::runProgram(const std::vector<EncodedInstruction> &code)
+NcoreRuntime::runProgram(
+    const std::vector<std::vector<EncodedInstruction>> &segments)
 {
-    // Stream the program through the double-buffered IRAM: fill both
-    // banks, then refill each bank as the sequencer leaves it. The
-    // paper (IV-C) measures that this loading never stalls execution,
-    // so no extra cycles are modeled for it.
-    const int bank = Machine::kBankInstrs;
+    // Stream the pre-segmented program through the double-buffered
+    // IRAM: fill both banks, then refill each bank as the sequencer
+    // leaves it. The paper (IV-C) measures that this loading never
+    // stalls execution, so no extra cycles are modeled for it.
     size_t next = 0;
     auto fill = [&](int b) {
-        std::vector<EncodedInstruction> seg;
-        seg.reserve(size_t(bank));
-        for (int i = 0; i < bank && next < code.size(); ++i, ++next)
-            seg.push_back(code[next]);
-        if (!seg.empty())
-            machine_->writeIram(b, seg);
+        if (next < segments.size())
+            machine_->writeIram(b, segments[next++]);
     };
     fill(0);
     fill(1);
@@ -109,6 +163,8 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
     fatal_if(!model_, "invoke before loadModel");
     const CompiledSubgraph &sg =
         model_->subgraphs[size_t(subgraph_index)];
+    const SubgraphProgramCache &pc =
+        cache_->subgraphs[size_t(subgraph_index)];
     fatal_if(inputs.size() != sg.inputs.size(),
              "subgraph expects %zu inputs, got %zu", sg.inputs.size(),
              inputs.size());
@@ -119,70 +175,80 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
     const uint64_t stall0 = machine_->perf().dmaFenceStalls;
     const uint64_t events0 = machine_->eventLog().totalRecorded();
 
-    // Pack inputs into the internal layouts (subgraph edges). Banded
-    // inputs are staged later, interleaved with their band programs.
+    // Pack inputs into the internal layouts (subgraph edges) through
+    // the reusable staging buffer; pack kernels may skip padding
+    // lanes, so the buffer is re-zeroed per tensor (cheap memset, no
+    // allocation after the first growth). Banded inputs are staged
+    // later, interleaved with their band programs.
     auto banded = [&](TensorId id) {
         for (const InputBandPlan &bp : sg.inputBands)
             if (bp.tensor == id)
                 return true;
         return false;
     };
+    auto stageInput = [&](const Tensor &t, const TensorLayout &lay) {
+        packBuf_.assign(size_t(lay.rows()) * 4096, 0);
+        if (lay.packed())
+            packYPacked(t, 0, lay, packBuf_.data());
+        else if (lay.kind == LayoutKind::Interleaved)
+            packInterleaved(t, 0, lay, packBuf_.data());
+        else if (lay.kind == LayoutKind::GroupedRf)
+            packGroupedRf(t, 0, lay, packBuf_.data());
+        else
+            packFlat(t, 0, lay, packBuf_.data());
+        for (int r = 0; r < lay.rows(); ++r)
+            machine_->hostWriteRow(false, lay.baseRow + r,
+                                   packBuf_.data() + size_t(r) * 4096);
+    };
     for (size_t i = 0; i < inputs.size(); ++i) {
         if (banded(sg.inputs[i]))
             continue;
-        const TensorLayout &lay = sg.layouts.at(sg.inputs[i]);
-        std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
-        if (lay.packed())
-            packYPacked(inputs[i], 0, lay, img.data());
-        else if (lay.kind == LayoutKind::Interleaved)
-            packInterleaved(inputs[i], 0, lay, img.data());
-        else if (lay.kind == LayoutKind::GroupedRf)
-            packGroupedRf(inputs[i], 0, lay, img.data());
-        else
-            packFlat(inputs[i], 0, lay, img.data());
-        for (int r = 0; r < lay.rows(); ++r)
-            machine_->hostWriteRow(false, lay.baseRow + r,
-                                   img.data() + size_t(r) * 4096);
+        stageInput(inputs[i], sg.layouts.at(sg.inputs[i]));
     }
 
     // Banded staging: write each band, run its program segment.
-    for (const InputBandPlan &bp : sg.inputBands) {
+    for (size_t bi = 0; bi < sg.inputBands.size(); ++bi) {
+        const InputBandPlan &bp = sg.inputBands[bi];
         size_t input_idx = 0;
         for (size_t i = 0; i < sg.inputs.size(); ++i)
             if (sg.inputs[i] == bp.tensor)
                 input_idx = i;
         for (size_t b = 0; b < bp.bandLayouts.size(); ++b) {
             const TensorLayout &lay = bp.bandLayouts[b];
-            std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
+            packBuf_.assign(size_t(lay.rows()) * 4096, 0);
             if (lay.kind == LayoutKind::GroupedRf)
-                packGroupedRf(inputs[input_idx], 0, lay, img.data());
+                packGroupedRf(inputs[input_idx], 0, lay,
+                              packBuf_.data());
             else
-                packInterleaved(inputs[input_idx], 0, lay, img.data());
+                packInterleaved(inputs[input_idx], 0, lay,
+                                packBuf_.data());
             for (int r = 0; r < lay.rows(); ++r)
                 machine_->hostWriteRow(false, lay.baseRow + r,
-                                       img.data() + size_t(r) * 4096);
-            runProgram(bp.bandCode[b]);
+                                       packBuf_.data() +
+                                           size_t(r) * 4096);
+            runProgram(pc.bandSegments[bi][b]);
         }
     }
 
-    runProgram(sg.code);
+    runProgram(pc.codeSegments);
 
-    // Unpack outputs.
+    // Unpack outputs (the buffer is fully overwritten by the row
+    // reads, so no re-zeroing is needed here).
     std::vector<Tensor> outs;
     for (TensorId out_id : sg.outputs) {
         const GirTensor &desc = model_->graph.tensor(out_id);
         const TensorLayout &lay = sg.layouts.at(out_id);
         Tensor t(desc.shape, desc.dtype, desc.quant);
-        std::vector<uint8_t> img(size_t(lay.rows()) * 4096);
+        packBuf_.resize(size_t(lay.rows()) * 4096);
         for (int r = 0; r < lay.rows(); ++r)
             machine_->hostReadRow(false, lay.baseRow + r,
-                                  img.data() + size_t(r) * 4096);
+                                  packBuf_.data() + size_t(r) * 4096);
         if (lay.packed())
-            unpackYPacked(img.data(), lay, t, 0);
+            unpackYPacked(packBuf_.data(), lay, t, 0);
         else if (lay.kind == LayoutKind::Interleaved)
-            unpackInterleaved(img.data(), lay, t, 0);
+            unpackInterleaved(packBuf_.data(), lay, t, 0);
         else
-            unpackFlat(img.data(), lay, t, 0);
+            unpackFlat(packBuf_.data(), lay, t, 0);
         outs.push_back(std::move(t));
     }
 

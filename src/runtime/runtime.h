@@ -39,9 +39,20 @@ class NcoreRuntime
 
     /**
      * Load a compiled model: mask tables, persistent weights or the
-     * DRAM stream image + descriptors, requant tables and LUTs.
+     * DRAM stream image + descriptors, requant tables and LUTs. The
+     * caller keeps the Loadable alive; this context derives (and owns)
+     * its program cache.
      */
     void loadModel(const Loadable &loadable);
+
+    /**
+     * Load a shared immutable model. N contexts loading the same
+     * LoadedModel share the weight/requant/LUT/program images and the
+     * pre-segmented program cache — nothing is re-derived per context,
+     * and contexts whose machines share a SystemMemory also share one
+     * DRAM copy of any streamed weight image.
+     */
+    void loadModel(SharedModel model);
 
     /**
      * Execute one compiled subgraph. Inputs are host NHWC tensors in
@@ -58,16 +69,25 @@ class NcoreRuntime
 
     const Loadable *model() const { return model_; }
 
+    /** The program cache in use (shared or context-owned). */
+    const ModelProgramCache *programCache() const { return cache_; }
+
     /** Direct machine access for tests/debug tooling. */
     Machine &machine() { return *machine_; }
 
   private:
-    void runProgram(const std::vector<EncodedInstruction> &code);
+    void loadImages();
+    void runProgram(
+        const std::vector<std::vector<EncodedInstruction>> &segments);
 
     NcoreDriver &driver_;
     Machine *machine_ = nullptr;
     const Loadable *model_ = nullptr;
+    SharedModel shared_;           ///< Keeps a shared model alive.
+    ModelProgramCache ownCache_;   ///< Cache for the non-shared path.
+    const ModelProgramCache *cache_ = nullptr;
     std::vector<uint64_t> streamBase_; ///< DRAM base per subgraph.
+    std::vector<uint8_t> packBuf_; ///< Reusable layout-edge staging.
 };
 
 } // namespace ncore

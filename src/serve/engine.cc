@@ -1,0 +1,456 @@
+#include "engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <thread>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace ncore {
+
+// --------------------------------------------------------------------
+// Device contexts
+// --------------------------------------------------------------------
+
+/** One simulated Ncore device: machine + driver + runtime + delegate,
+ *  backed by the engine's shared SystemMemory and LoadedModel. */
+struct ServeEngine::DeviceContext
+{
+    DeviceContext(const SharedModel &model, SystemMemory *mem)
+        : machine(chaNcoreConfig(), chaSocConfig(), mem), driver(machine)
+    {
+        driver.powerUp();
+        fatal_if(!driver.selfTest(), "Ncore self-test failed");
+        runtime.emplace(driver);
+        runtime->loadModel(model);
+        exec.emplace(*runtime, X86CostModel{});
+    }
+
+    Machine machine;
+    NcoreDriver driver;
+    std::optional<NcoreRuntime> runtime;
+    std::optional<DelegateExecutor> exec;
+};
+
+ServeEngine::ServeEngine(SharedModel model,
+                         std::vector<std::vector<Tensor>> samples,
+                         int max_devices)
+    : model_(std::move(model)), samples_(std::move(samples))
+{
+    fatal_if(!model_, "ServeEngine needs a loaded model");
+    fatal_if(samples_.empty(), "ServeEngine needs a sample set");
+    fatal_if(max_devices < 1, "ServeEngine needs >= 1 device");
+    sysmem_ = std::make_unique<SystemMemory>(
+        chaSocConfig().dmaWindowBytes);
+    for (int d = 0; d < max_devices; ++d)
+        contexts_.push_back(
+            std::make_unique<DeviceContext>(model_, sysmem_.get()));
+}
+
+ServeEngine::~ServeEngine() = default;
+
+NcoreRuntime &
+ServeEngine::runtime(int device)
+{
+    return *contexts_.at(size_t(device))->runtime;
+}
+
+uint64_t
+ServeEngine::sharedModelBytes() const
+{
+    uint64_t bytes = 0;
+    for (const CompiledSubgraph &sg : model_->loadable().subgraphs) {
+        bytes += sg.persistentWeights.size();
+        bytes += sg.streamImage.size();
+        bytes += sg.code.size() * sizeof(EncodedInstruction);
+        bytes += sg.rqTable.size() * sizeof(RequantEntry);
+        bytes += sg.luts.size() * 256;
+        for (const auto &kv : sg.extraMasks)
+            bytes += kv.second.size();
+        for (const InputBandPlan &bp : sg.inputBands)
+            for (const auto &code : bp.bandCode)
+                bytes += code.size() * sizeof(EncodedInstruction);
+    }
+    return bytes;
+}
+
+// --------------------------------------------------------------------
+// Run plan: arrival schedule + deterministic batch plan
+// --------------------------------------------------------------------
+
+ServeEngine::RunPlan
+ServeEngine::makePlan(const ServeConfig &cfg, int queries) const
+{
+    RunPlan plan;
+    plan.arrivals.resize(size_t(queries), 0.0);
+    if (cfg.mode == ServeConfig::Mode::Server) {
+        fatal_if(cfg.arrivalRate <= 0,
+                 "Server mode needs a positive arrival rate");
+        Rng rng(cfg.seed);
+        double t = 0;
+        for (int q = 0; q < queries; ++q) {
+            double u = double(rng.nextFloat());
+            t += -std::log(1.0 - u) / cfg.arrivalRate;
+            plan.arrivals[size_t(q)] = t;
+        }
+    }
+
+    // Batch by arrival: queries join the open batch in id order; the
+    // batch closes when full or (Server) when the next arrival would
+    // wait longer than batchDelaySeconds behind the batch's first.
+    // Depends only on the arrival schedule, so the plan — and with it
+    // the whole virtual timeline — is deterministic.
+    plan.batchOfQuery.resize(size_t(queries), 0);
+    std::vector<int> open;
+    double open_first = 0;
+    auto close = [&] {
+        if (open.empty())
+            return;
+        for (int q : open)
+            plan.batchOfQuery[size_t(q)] = int(plan.batches.size());
+        plan.batches.push_back(std::move(open));
+        open.clear();
+    };
+    for (int q = 0; q < queries; ++q) {
+        if (open.empty())
+            open_first = plan.arrivals[size_t(q)];
+        open.push_back(q);
+        bool full = int(open.size()) >= cfg.maxBatch;
+        bool timed_out =
+            cfg.mode == ServeConfig::Mode::Server && q + 1 < queries &&
+            plan.arrivals[size_t(q + 1)] >
+                open_first + cfg.batchDelaySeconds;
+        if (full || timed_out)
+            close();
+    }
+    close();
+
+    plan.deviceOfBatch.resize(plan.batches.size());
+    for (size_t b = 0; b < plan.batches.size(); ++b)
+        plan.deviceOfBatch[b] = int(b % size_t(cfg.devices));
+    return plan;
+}
+
+// --------------------------------------------------------------------
+// Execution
+// --------------------------------------------------------------------
+
+double
+ServeEngine::executeQuery(DeviceContext &dev, const ServeConfig &cfg,
+                          int query, int sample,
+                          std::vector<Tensor> prepped,
+                          ServeResult &result)
+{
+    InferenceResult r;
+    bool from_memo = false;
+    if (cfg.memoizeSampleResults) {
+        std::lock_guard<std::mutex> lock(memoMu_);
+        auto it = memo_.find(sample);
+        if (it != memo_.end()) {
+            r = it->second;
+            from_memo = true;
+        }
+    }
+    if (!from_memo) {
+        r = dev.exec->infer(prepped);
+        if (cfg.memoizeSampleResults) {
+            std::lock_guard<std::mutex> lock(memoMu_);
+            memo_.emplace(sample, r);
+        }
+    }
+    result.records[size_t(query)].sample = sample;
+    if (cfg.keepOutputs)
+        result.outputs[size_t(query)] = std::move(r.outputs);
+    // Virtual device occupancy: measured Ncore seconds. The x86-
+    // resident remainder of the model (reference kernels the device
+    // thread ran functionally) is charged to the worker pool through
+    // cfg.pre/postSeconds, not here.
+    return r.timing.ncoreSeconds;
+}
+
+namespace {
+
+/** A virtual x86 worker-pool task (pre or post stage of one query). */
+struct PoolTask
+{
+    double release = 0;
+    int64_t seq = 0;
+    int query = 0;
+    bool post = false;
+};
+
+struct PoolTaskLater
+{
+    bool
+    operator()(const PoolTask &a, const PoolTask &b) const
+    {
+        if (a.release != b.release)
+            return a.release > b.release;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
+ServeResult
+ServeEngine::run(const ServeConfig &user_cfg, int queries)
+{
+    fatal_if(queries <= 0, "run() needs >= 1 query");
+    ServeConfig cfg = user_cfg;
+    cfg.x86Workers = std::max(cfg.x86Workers, 1);
+    cfg.maxBatch = std::max(cfg.maxBatch, 1);
+    cfg.packThreads = std::max(cfg.packThreads, 1);
+    cfg.queueCapacity = std::max<size_t>(cfg.queueCapacity, 1);
+    fatal_if(cfg.devices < 1 || cfg.devices > maxDevices(),
+             "run() wants %d devices, engine has %d", cfg.devices,
+             maxDevices());
+
+    const RunPlan plan = makePlan(cfg, queries);
+    const int num_batches = int(plan.batches.size());
+
+    ServeResult result;
+    result.queries = queries;
+    result.records.resize(size_t(queries));
+    result.outputs.resize(size_t(queries));
+    for (int q = 0; q < queries; ++q) {
+        QueryRecord &rec = result.records[size_t(q)];
+        rec.query = q;
+        rec.batch = plan.batchOfQuery[size_t(q)];
+        rec.device = plan.deviceOfBatch[size_t(rec.batch)];
+        rec.arrival = plan.arrivals[size_t(q)];
+    }
+    for (const auto &members : plan.batches)
+        result.batchSizes.push_back(int(members.size()));
+
+    // ---- Physical pipeline ------------------------------------------
+    // dispatch -> preQueue -> pack workers -> packedQueue -> batcher
+    // -> per-device batch queues -> device driver threads.
+    struct Prepped
+    {
+        int query = 0;
+        std::vector<Tensor> inputs;
+    };
+    BoundedQueue<int> preQueue(cfg.queueCapacity);
+    BoundedQueue<Prepped> packedQueue(cfg.queueCapacity);
+    std::vector<std::unique_ptr<BoundedQueue<int>>> devQueues;
+    for (int d = 0; d < cfg.devices; ++d)
+        devQueues.push_back(std::make_unique<BoundedQueue<int>>(
+            std::max<size_t>(1, cfg.queueCapacity /
+                                    size_t(cfg.maxBatch))));
+
+    std::vector<std::vector<Tensor>> prepped;
+    prepped.resize(size_t(queries));
+    std::vector<double> ncoreSec(size_t(queries), 0.0);
+    std::vector<uint64_t> devCycles(size_t(cfg.devices), 0);
+
+    // x86 pre-stage pool: real threads materialize each query's input
+    // from its sample (the functional share of preprocessing); the
+    // virtual stage cost is cfg.preSeconds in the replay below.
+    std::vector<std::jthread> packers;
+    for (int t = 0; t < cfg.packThreads; ++t)
+        packers.emplace_back([&] {
+            int q = 0;
+            while (preQueue.pop(q)) {
+                Prepped p;
+                p.query = q;
+                p.inputs =
+                    samples_[size_t(q) % samples_.size()]; // copy
+                packedQueue.push(std::move(p));
+            }
+        });
+
+    // Batcher: collects packed queries, completes batches per the
+    // plan, and emits them in batch-id order (devices consume their
+    // queues in order, matching the virtual replay).
+    std::jthread batcher([&] {
+        std::vector<int> remaining;
+        remaining.reserve(plan.batches.size());
+        for (const auto &members : plan.batches)
+            remaining.push_back(int(members.size()));
+        std::vector<char> ready(plan.batches.size(), 0);
+        int next_emit = 0;
+        Prepped p;
+        while (packedQueue.pop(p)) {
+            prepped[size_t(p.query)] = std::move(p.inputs);
+            int b = plan.batchOfQuery[size_t(p.query)];
+            if (--remaining[size_t(b)] == 0)
+                ready[size_t(b)] = 1;
+            while (next_emit < num_batches && ready[size_t(next_emit)]) {
+                devQueues[size_t(plan.deviceOfBatch[size_t(
+                              next_emit)])]
+                    ->push(next_emit);
+                ++next_emit;
+            }
+        }
+        fatal_if(next_emit != num_batches,
+                 "batcher drained with %d/%d batches emitted",
+                 next_emit, num_batches);
+        for (auto &dq : devQueues)
+            dq->close();
+    });
+
+    // Device drivers: one thread per device context, executing real
+    // batched inferences through the shared-loadable runtime.
+    std::vector<std::jthread> drivers;
+    for (int d = 0; d < cfg.devices; ++d)
+        drivers.emplace_back([&, d] {
+            DeviceContext &dev = *contexts_[size_t(d)];
+            int b = 0;
+            while (devQueues[size_t(d)]->pop(b)) {
+                for (int q : plan.batches[size_t(b)]) {
+                    int sample = int(size_t(q) % samples_.size());
+                    ncoreSec[size_t(q)] = executeQuery(
+                        dev, cfg, q, sample,
+                        std::move(prepped[size_t(q)]), result);
+                    prepped[size_t(q)].clear();
+                }
+            }
+            devCycles[size_t(d)] = dev.machine.cycles();
+        });
+
+    for (int q = 0; q < queries; ++q)
+        preQueue.push(q);
+    preQueue.close();
+    packers.clear(); // join pack workers
+    packedQueue.close();
+    batcher.join();
+    drivers.clear(); // join device drivers
+
+    // Virtual device cycles (includes memoized repeats, which the
+    // machines did not re-execute).
+    for (int q = 0; q < queries; ++q)
+        result.deviceCycles += uint64_t(
+            ncoreSec[size_t(q)] *
+            contexts_[0]->machine.config().clockHz);
+
+    // ---- Virtual-time replay ----------------------------------------
+    // Exact discrete-event schedule of the pipeline: a FIFO pool of
+    // x86Workers virtual cores serves pre and post tasks in release
+    // order; each device consumes its batches in order, occupying
+    // (measured ncore + unhidden) seconds per query. Insertions
+    // always carry release times >= the event being processed, so a
+    // single pass in (release, seq) order is chronologically exact.
+    std::priority_queue<PoolTask, std::vector<PoolTask>, PoolTaskLater>
+        tasks;
+    for (int q = 0; q < queries; ++q)
+        tasks.push(PoolTask{plan.arrivals[size_t(q)], q, q, false});
+    int64_t next_seq = queries;
+
+    std::priority_queue<double, std::vector<double>,
+                        std::greater<double>>
+        workers;
+    for (int w = 0; w < cfg.x86Workers; ++w)
+        workers.push(0.0);
+
+    std::vector<int> pre_left;
+    pre_left.reserve(plan.batches.size());
+    for (const auto &members : plan.batches)
+        pre_left.push_back(int(members.size()));
+    std::vector<double> batchReady(plan.batches.size(), 0.0);
+    std::vector<char> batchIsReady(plan.batches.size(), 0);
+    std::vector<std::vector<int>> devBatches(size_t(cfg.devices));
+    for (int b = 0; b < num_batches; ++b)
+        devBatches[size_t(plan.deviceOfBatch[size_t(b)])].push_back(b);
+    std::vector<size_t> devNext(size_t(cfg.devices), 0);
+    std::vector<double> devFree(size_t(cfg.devices), 0.0);
+
+    auto pumpDevice = [&](int d) {
+        auto &list = devBatches[size_t(d)];
+        while (devNext[size_t(d)] < list.size() &&
+               batchIsReady[size_t(list[devNext[size_t(d)]])]) {
+            int b = list[devNext[size_t(d)]++];
+            double start =
+                std::max(devFree[size_t(d)], batchReady[size_t(b)]);
+            double cur = start;
+            for (int q : plan.batches[size_t(b)]) {
+                QueryRecord &rec = result.records[size_t(q)];
+                rec.devStart = start;
+                cur += ncoreSec[size_t(q)] + cfg.unhiddenSeconds;
+                rec.devDone = cur;
+            }
+            devFree[size_t(d)] = cur;
+            for (int q : plan.batches[size_t(b)])
+                tasks.push(PoolTask{cur, next_seq++, q, true});
+        }
+    };
+
+    while (!tasks.empty()) {
+        PoolTask t = tasks.top();
+        tasks.pop();
+        double free_at = workers.top();
+        workers.pop();
+        double start = std::max(t.release, free_at);
+        QueryRecord &rec = result.records[size_t(t.query)];
+        if (!t.post) {
+            rec.preStart = start;
+            rec.preDone = start + cfg.preSeconds;
+            workers.push(rec.preDone);
+            int b = plan.batchOfQuery[size_t(t.query)];
+            batchReady[size_t(b)] =
+                std::max(batchReady[size_t(b)], rec.preDone);
+            if (--pre_left[size_t(b)] == 0) {
+                batchIsReady[size_t(b)] = 1;
+                pumpDevice(plan.deviceOfBatch[size_t(b)]);
+            }
+        } else {
+            rec.postStart = start;
+            rec.postDone = start + cfg.postSeconds;
+            workers.push(rec.postDone);
+        }
+    }
+
+    // ---- Scenario metrics -------------------------------------------
+    SampleStats lat;
+    double first_arrival = plan.arrivals.empty()
+                               ? 0.0
+                               : plan.arrivals.front();
+    double last_done = 0;
+    for (const QueryRecord &rec : result.records) {
+        lat.add(rec.latency());
+        last_done = std::max(last_done, rec.postDone);
+    }
+    result.seconds = last_done - first_arrival;
+    result.ips = result.seconds > 0
+                     ? double(queries) / result.seconds
+                     : 0.0;
+    result.meanLatency = lat.mean();
+    result.p50 = lat.percentile(0.50);
+    result.p90 = lat.percentile(0.90);
+    result.p99 = lat.percentile(0.99);
+
+    // Peak device backlog: queries arrived but not yet started on a
+    // device (+1 at arrival, -1 at device start; starts drain first
+    // on ties).
+    std::vector<std::pair<double, int>> events;
+    events.reserve(size_t(queries) * 2);
+    for (const QueryRecord &rec : result.records) {
+        events.emplace_back(rec.arrival, +1);
+        events.emplace_back(rec.devStart, -1);
+    }
+    std::sort(events.begin(), events.end());
+    long depth = 0;
+    long max_depth = 0;
+    for (const auto &[when, delta] : events) {
+        depth += delta;
+        max_depth = std::max(max_depth, depth);
+    }
+    result.maxQueueDepth = size_t(max_depth);
+    return result;
+}
+
+std::vector<int>
+ServeResult::batchSizeHistogram() const
+{
+    std::vector<int> hist;
+    for (int s : batchSizes) {
+        if (int(hist.size()) <= s)
+            hist.resize(size_t(s) + 1, 0);
+        ++hist[size_t(s)];
+    }
+    return hist;
+}
+
+} // namespace ncore

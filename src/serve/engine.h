@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Executed multicore serving engine (paper VI-C, Figs. 13/14): the
+ * multicore batching pipeline that the analytic model in
+ * mlperf/pipeline.h only predicts. One driver thread per simulated
+ * Ncore device context executes real batched inferences through the
+ * runtime; an x86 worker pool carries the pre/post-processing share of
+ * every query (cost-model-timed — the paper's x86 work has no
+ * simulatable instruction stream, so its stages are charged their
+ * measured per-query seconds); a batcher groups queries; bounded MPMC
+ * queues connect the stages with backpressure.
+ *
+ * Two clocks:
+ *  - wall time: the real threads really execute the cycle simulator
+ *    (device inferences are bit-identical to serial invokes);
+ *  - virtual time: the reported throughput/latency timeline, built
+ *    from measured Ncore seconds (cycles / clockHz) and the
+ *    cost-model x86 stage seconds by an exact discrete-event replay
+ *    of the pipeline (W-worker FIFO pool, per-device in-order batch
+ *    queues). The replay depends only on arrival times, stage costs
+ *    and the deterministic batch plan, so results are bit-identical
+ *    across runs and thread interleavings.
+ */
+
+#ifndef NCORE_SERVE_ENGINE_H
+#define NCORE_SERVE_ENGINE_H
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/delegate.h"
+#include "runtime/driver.h"
+#include "runtime/runtime.h"
+#include "serve/queue.h"
+
+namespace ncore {
+
+/** One serving-run configuration. */
+struct ServeConfig
+{
+    enum class Mode { Offline, Server };
+    Mode mode = Mode::Offline;
+
+    /// Virtual x86 worker cores running pre/post stages (the paper's
+    /// n-1 cores; the remaining core drives Ncore). Clamped to >= 1.
+    int x86Workers = 4;
+    /// Device contexts used this run (<= the engine's contexts).
+    int devices = 1;
+    /// Maximum queries per device batch.
+    int maxBatch = 8;
+    /// Server mode: a batch closes once the next arrival would wait
+    /// longer than this behind the batch's first arrival.
+    double batchDelaySeconds = 500e-6;
+    /// Server mode: Poisson arrival rate in queries/second.
+    double arrivalRate = 1000.0;
+    uint64_t seed = 1;
+
+    /// Per-query x86 stage costs (seconds). preSeconds + postSeconds
+    /// should equal the workload's measured x86 share.
+    double preSeconds = 0;
+    double postSeconds = 0;
+    /// Per-query serial overhead batching cannot hide, charged on the
+    /// device timeline (the Fig. 14 "other x86 overhead" term).
+    double unhiddenSeconds = 0;
+
+    /// Reuse the first execution of each distinct sample for repeat
+    /// queries (MLPerf-style performance sample sets; valid because
+    /// the simulator is bit-deterministic, and verified by tests).
+    bool memoizeSampleResults = false;
+    /// Keep per-query output tensors in the result.
+    bool keepOutputs = true;
+
+    /// Capacity of each inter-stage queue (backpressure bound).
+    size_t queueCapacity = 64;
+    /// Real preprocessing threads backing the virtual worker pool.
+    int packThreads = 2;
+};
+
+/** Virtual-time trace of one query through the pipeline. */
+struct QueryRecord
+{
+    int query = 0;
+    int sample = 0;
+    int batch = 0;
+    int device = 0;
+    double arrival = 0;
+    double preStart = 0, preDone = 0;
+    double devStart = 0, devDone = 0;
+    double postStart = 0, postDone = 0;
+    double latency() const { return postDone - arrival; }
+};
+
+/** Result of one serving run. */
+struct ServeResult
+{
+    int queries = 0;
+    double seconds = 0; ///< Virtual makespan (first arrival -> last post).
+    double ips = 0;     ///< queries / seconds: the Offline metric.
+    double meanLatency = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+
+    std::vector<QueryRecord> records;  ///< Indexed by query id.
+    std::vector<int> batchSizes;       ///< Per batch, in batch order.
+    /// Peak count of queries arrived but not yet started on a device.
+    size_t maxQueueDepth = 0;
+    uint64_t deviceCycles = 0; ///< Total Ncore cycles (virtual, incl. memo).
+    /// Per-query model outputs (empty unless cfg.keepOutputs).
+    std::vector<std::vector<Tensor>> outputs;
+
+    /** Batch-size histogram: hist[s] = batches of size s. */
+    std::vector<int> batchSizeHistogram() const;
+};
+
+/**
+ * N-context serving engine over one shared loaded model.
+ *
+ * All device machines share one SystemMemory (one DRAM copy of any
+ * streamed weight image) and one LoadedModel (one program cache, one
+ * set of weight/requant/LUT images); per-context memory is scratchpad
+ * and decode state only. run() may be called repeatedly with
+ * different configurations; the memoization cache persists across
+ * runs.
+ */
+class ServeEngine
+{
+  public:
+    /**
+     * `samples` is the distinct-sample set (MLPerf performance
+     * samples); query q executes sample q % samples.size().
+     */
+    ServeEngine(SharedModel model,
+                std::vector<std::vector<Tensor>> samples,
+                int max_devices = 1);
+    ~ServeEngine();
+
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /** Execute `queries` queries under `cfg`. */
+    ServeResult run(const ServeConfig &cfg, int queries);
+
+    int maxDevices() const { return int(contexts_.size()); }
+    const LoadedModel &model() const { return *model_; }
+
+    /** Bytes of model image shared across contexts (weights, stream
+     *  image, programs) — the memory N contexts do NOT multiply. */
+    uint64_t sharedModelBytes() const;
+
+    /** Device runtime access for tests. */
+    NcoreRuntime &runtime(int device);
+
+    /** The SystemMemory all device contexts share. */
+    SystemMemory &sysmem() { return *sysmem_; }
+
+  private:
+    struct DeviceContext;
+
+    /** Arrival schedule + deterministic batch plan for one run. */
+    struct RunPlan
+    {
+        std::vector<double> arrivals;           // per query
+        std::vector<std::vector<int>> batches;  // member query ids
+        std::vector<int> batchOfQuery;
+        std::vector<int> deviceOfBatch;
+    };
+    RunPlan makePlan(const ServeConfig &cfg, int queries) const;
+
+    /** Execute one query on a device (or serve it from the memo
+     *  cache); returns measured Ncore seconds. */
+    double executeQuery(DeviceContext &dev, const ServeConfig &cfg,
+                        int query, int sample,
+                        std::vector<Tensor> prepped,
+                        ServeResult &result);
+
+    SharedModel model_;
+    std::vector<std::vector<Tensor>> samples_;
+    std::unique_ptr<SystemMemory> sysmem_;
+    std::vector<std::unique_ptr<DeviceContext>> contexts_;
+
+    std::mutex memoMu_;
+    std::unordered_map<int, InferenceResult> memo_;
+};
+
+} // namespace ncore
+
+#endif // NCORE_SERVE_ENGINE_H

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Bounded multi-producer/multi-consumer queue: the hand-off primitive
+ * of the serving engine (dispatch -> x86 workers -> batcher -> device
+ * drivers). Blocking push with backpressure when full; pop blocks
+ * until an item arrives or the queue is closed and drained.
+ */
+
+#ifndef NCORE_SERVE_QUEUE_H
+#define NCORE_SERVE_QUEUE_H
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace ncore {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity)
+    {
+        fatal_if(capacity == 0, "BoundedQueue needs capacity >= 1");
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /** Blocks while the queue is full. Pushing after close() panics:
+     *  producers must stop before closing. */
+    void
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notFull_.wait(lock, [&] {
+            return items_.size() < capacity_ || closed_;
+        });
+        panic_if(closed_, "push on a closed BoundedQueue");
+        items_.push_back(std::move(item));
+        maxDepth_ = std::max(maxDepth_, items_.size());
+        notEmpty_.notify_one();
+    }
+
+    /**
+     * Blocks until an item is available or the queue is closed and
+     * empty. Returns false only in the latter (drained) case.
+     */
+    bool
+    pop(T &out)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        notEmpty_.wait(lock, [&] { return !items_.empty() || closed_; });
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        notFull_.notify_one();
+        return true;
+    }
+
+    /** Wakes all blocked consumers; the queue drains then pops fail. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        closed_ = true;
+        notEmpty_.notify_all();
+        notFull_.notify_all();
+    }
+
+    size_t
+    maxDepthSeen() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return maxDepth_;
+    }
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notEmpty_;
+    std::condition_variable notFull_;
+    std::deque<T> items_;
+    size_t maxDepth_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace ncore
+
+#endif // NCORE_SERVE_QUEUE_H

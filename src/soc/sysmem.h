@@ -10,6 +10,7 @@
 #define NCORE_SOC_SYSMEM_H
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/logging.h"
@@ -17,7 +18,16 @@
 
 namespace ncore {
 
-/** Flat system memory with a page-sparse backing store. */
+/**
+ * Flat system memory with a page-sparse backing store.
+ *
+ * Thread-safety: allocation is mutex-guarded (several device contexts
+ * may be brought up concurrently against one shared memory). Data
+ * accesses are not synchronized — the serving engine's invariant is
+ * that shared regions (streamed weight images) are written once at
+ * model-load time and only read afterwards, and reads of immutable
+ * pages never mutate the page table.
+ */
 class SystemMemory
 {
   public:
@@ -25,12 +35,16 @@ class SystemMemory
         : capacity_(capacity_bytes)
     {}
 
+    SystemMemory(const SystemMemory &) = delete;
+    SystemMemory &operator=(const SystemMemory &) = delete;
+
     int64_t capacity() const { return capacity_; }
 
-    /** Allocate a block; returns its base address. */
+    /** Allocate a block; returns its base address. Thread-safe. */
     uint64_t
     allocate(uint64_t bytes, uint64_t align = 64)
     {
+        std::lock_guard<std::mutex> lock(allocMu_);
         uint64_t base = (brk_ + align - 1) / align * align;
         fatal_if(base + bytes > static_cast<uint64_t>(capacity_),
                  "system memory exhausted: need %llu at %llu, cap %lld",
@@ -45,11 +59,17 @@ class SystemMemory
     void
     reset()
     {
+        std::lock_guard<std::mutex> lock(allocMu_);
         brk_ = 0;
         pages_.clear();
     }
 
-    uint64_t bytesAllocated() const { return brk_; }
+    uint64_t
+    bytesAllocated() const
+    {
+        std::lock_guard<std::mutex> lock(allocMu_);
+        return brk_;
+    }
 
     void
     write(uint64_t addr, const uint8_t *src, uint64_t bytes)
@@ -93,6 +113,7 @@ class SystemMemory
     }
 
     int64_t capacity_;
+    mutable std::mutex allocMu_;
     uint64_t brk_ = 0;
     std::vector<std::vector<uint8_t>> pages_;
 };

@@ -35,6 +35,20 @@ TEST(Loadgen, JitterIsOneSidedAndBounded)
     EXPECT_LE(r.p99, 1e-3 * 1.051);
 }
 
+TEST(Loadgen, SingleStreamPercentileMathIsExact)
+{
+    // Known latencies, no jitter: query q takes (q+1) ms, so the
+    // sorted sample is 1..100 ms and percentiles interpolate linearly
+    // on index p*(n-1): p50 -> 50.5 ms, p90 -> 90.1 ms, p99 -> 99.01.
+    SingleStreamResult r = runSingleStream(
+        [](int q) { return (q + 1) * 1e-3; }, 100,
+        /*jitter_frac=*/0.0);
+    EXPECT_NEAR(r.mean, 50.5e-3, 1e-12);
+    EXPECT_NEAR(r.p50, 50.5e-3, 1e-12);
+    EXPECT_NEAR(r.p90, 90.1e-3, 1e-12);
+    EXPECT_NEAR(r.p99, 99.01e-3, 1e-12);
+}
+
 TEST(Loadgen, OfflineThroughputBookkeeping)
 {
     OfflineResult r = runOffline(2000.0, 24576);
@@ -61,6 +75,18 @@ TEST(Pipeline, SaturationCoreCountsMatchPaper)
     EXPECT_EQ(coresToSaturate(paperProfile(0.71, 0.34)), 2);
     EXPECT_EQ(coresToSaturate(paperProfile(0.11, 0.22)), 4);
     EXPECT_EQ(coresToSaturate(paperProfile(0.36, 1.18)), 5);
+}
+
+TEST(Pipeline, SaturationHandlesDegenerateProfiles)
+{
+    // No x86 share: one worker trivially keeps up.
+    EXPECT_EQ(coresToSaturate(paperProfile(0.71, 0.0)), 2);
+    // No Ncore share: the coprocessor is never the bottleneck.
+    EXPECT_EQ(coresToSaturate(paperProfile(0.0, 0.34)), 2);
+    // Both zero (empty profile) still answers sanely.
+    EXPECT_EQ(coresToSaturate(paperProfile(0.0, 0.0)), 2);
+    // Huge x86/ncore ratio still reports at least one worker + driver.
+    EXPECT_GE(coresToSaturate(paperProfile(1e-6, 10.0)), 2);
 }
 
 TEST(Pipeline, ExpectedIpsSaturatesAtNcoreRate)
