@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "bench/json_util.h"
+#include "common/json.h"
 #include "common/ecc.h"
 #include "common/machine.h"
 #include "common/rng.h"

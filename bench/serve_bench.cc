@@ -13,12 +13,19 @@
  * engine's memo cache (the simulator is bit-deterministic), so wall
  * time stays minutes while virtual query counts reach the hundreds.
  * Set NCORE_BENCH_SERVE_QUICK to sweep MobileNet only.
+ *
+ * Telemetry: pass --trace=<path> and/or --metrics=<path> to export
+ * the final MobileNet Offline run's Chrome trace-event JSON (open in
+ * Perfetto / chrome://tracing) and Prometheus text snapshot. Both
+ * derive from the virtual DES replay, so the files are byte-identical
+ * across runs and thread counts.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
-#include "bench/json_util.h"
+#include "common/json.h"
 #include "gcl/compiler.h"
 #include "mlperf/loadgen.h"
 #include "mlperf/profiles.h"
@@ -75,7 +82,9 @@ emitRun(JsonWriter &j, const char *mode, const ServeConfig &cfg,
 
 void
 benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
-              const std::vector<RunSpec> &specs, int max_devices)
+              const std::vector<RunSpec> &specs, int max_devices,
+              const char *trace_path = nullptr,
+              const char *metrics_path = nullptr)
 {
     WorkloadProfile p = measureWorkload(w);
 
@@ -137,6 +146,17 @@ benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
                 analytic, 100.0 * (r.ips / analytic - 1.0));
         emitRun(j, "offline", cfg, detail, analytic);
         best_ips = std::max(best_ips, r.ips);
+        if (&spec == &specs.back() && (trace_path || metrics_path)) {
+            if (!exportServeTelemetry(detail,
+                                      trace_path ? trace_path : "",
+                                      metrics_path ? metrics_path : ""))
+                fprintf(stderr, "telemetry export failed\n");
+            else
+                fprintf(stderr, "exported telemetry (%s%s%s)\n",
+                        trace_path ? trace_path : "",
+                        trace_path && metrics_path ? ", " : "",
+                        metrics_path ? metrics_path : "");
+        }
     }
 
     // One Server-mode point at ~70% of the best measured Offline
@@ -165,7 +185,7 @@ benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
 }
 
 int
-serveBenchMain()
+serveBenchMain(const char *trace_path, const char *metrics_path)
 {
     FILE *f = fopen("BENCH_serve.json", "w");
     if (!f) {
@@ -178,10 +198,11 @@ serveBenchMain()
 
     // MobileNet: 4 distinct samples, 256 queries, core sweep plus a
     // 2-device point (the two contexts share one loaded model).
+    // Telemetry (if requested) exports from its last offline run.
     benchWorkload(j, Workload::MobileNetV1, /*distinct=*/4,
                   /*queries=*/256,
                   {{1, 1}, {4, 1}, {7, 1}, {7, 2}},
-                  /*max_devices=*/2);
+                  /*max_devices=*/2, trace_path, metrics_path);
     if (!getenv("NCORE_BENCH_SERVE_QUICK"))
         benchWorkload(j, Workload::ResNet50, /*distinct=*/2,
                       /*queries=*/64, {{1, 1}, {3, 1}},
@@ -199,7 +220,22 @@ serveBenchMain()
 } // namespace ncore
 
 int
-main()
+main(int argc, char **argv)
 {
-    return ncore::serveBenchMain();
+    const char *trace = nullptr;
+    const char *metrics = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (!strncmp(argv[i], "--trace=", 8))
+            trace = argv[i] + 8;
+        else if (!strncmp(argv[i], "--metrics=", 10))
+            metrics = argv[i] + 10;
+        else {
+            fprintf(stderr,
+                    "usage: %s [--trace=<trace.json>] "
+                    "[--metrics=<metrics.txt>]\n",
+                    argv[0]);
+            return 2;
+        }
+    }
+    return ncore::serveBenchMain(trace, metrics);
 }

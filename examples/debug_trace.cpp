@@ -30,7 +30,11 @@ main()
                 "(GCL emits Event ops around every layer)...\n");
     Loadable ld = compile(buildMobileNetV1());
 
-    Machine machine(chaNcoreConfig(), chaSocConfig());
+    // A live cycle-domain trace sink (Machine::Options) records bank
+    // swaps, DMA-fence stalls and Event markers as they happen.
+    CycleTraceBuffer sink;
+    Machine machine(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                    {ExecEngine::Default, &sink});
     NcoreDriver driver(machine);
     driver.powerUp();
     NcoreRuntime rt(driver);
@@ -113,6 +117,25 @@ main()
     std::printf("  DMA stalls    %12llu cycles\n",
                 (unsigned long long)perf.dmaFenceStalls);
 
+    // ---- Unified stats + invocation spans ---------------------------
+    std::printf("\ninvocation spans (cycle-exact, from InvokeStats):\n");
+    int span_shown = 0;
+    for (const CycleSpan &s : stats.spans) {
+        if (span_shown++ >= 6) {
+            std::printf("  ... (%zu more spans)\n",
+                        stats.spans.size() - 6);
+            break;
+        }
+        std::printf("  %-16s [%llu, %llu] (%llu cycles)\n", s.name,
+                    (unsigned long long)s.begin,
+                    (unsigned long long)s.end,
+                    (unsigned long long)s.cycles());
+    }
+    std::printf("live sink saw %zu instants, %zu spans\n",
+                sink.instants.size(), sink.spans.size());
+    std::printf("\nPrometheus snapshot of the invocation delta:\n%s",
+                prometheusText(stats.counters).c_str());
+
     // ---- n-step breakpointing ---------------------------------------
     std::printf("\nn-step breakpointing (pause every 100k cycles and "
                 "inspect, paper IV-F):\n");
@@ -124,7 +147,7 @@ main()
     rt.machine().setNStep(0);
     rt.invoke(0, {image}, &again);
     std::printf("  second run: %llu cycles (deterministic: %s)\n",
-                (unsigned long long)again.cycles,
-                again.cycles == stats.cycles ? "yes" : "no");
+                (unsigned long long)again.cycles(),
+                again.cycles() == stats.cycles() ? "yes" : "no");
     return 0;
 }

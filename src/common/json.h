@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Small streaming JSON emitter shared by the telemetry exporters
+ * (trace.json, metrics snapshots) and the bench writers (micro_sim ->
+ * BENCH_sim.json, serve_bench -> BENCH_serve.json). Handles nesting,
+ * comma placement, indentation and string escaping so callers only
+ * state structure and values.
+ *
+ * Output is deterministic: a given call sequence produces identical
+ * bytes regardless of sink (FILE* or std::string) or platform locale
+ * (all numeric formatting goes through the C printf "C" semantics of
+ * snprintf with explicit formats).
+ */
+
+#ifndef NCORE_COMMON_JSON_H
+#define NCORE_COMMON_JSON_H
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ncore {
+
+class JsonWriter
+{
+  public:
+    /** Stream to a FILE the caller owns. */
+    explicit JsonWriter(FILE *f) : f_(f) {}
+    /** Append to a string the caller owns (telemetry exporters). */
+    explicit JsonWriter(std::string *out) : out_(out) {}
+
+    /** Pending "key": prefix inside an object (escaped). */
+    JsonWriter &
+    key(const char *k)
+    {
+        prefix();
+        emitQuoted(k);
+        emit(": ");
+        keyed_ = true;
+        return *this;
+    }
+
+    void beginObject() { open('{'); }
+    void endObject() { close('}'); }
+    void beginArray() { open('['); }
+    void endArray() { close(']'); }
+
+    void
+    value(const char *s)
+    {
+        prefix();
+        emitQuoted(s);
+    }
+    void value(const std::string &s) { value(s.c_str()); }
+    void
+    value(uint64_t v)
+    {
+        prefix();
+        emitf("%llu", (unsigned long long)v);
+    }
+    void
+    value(int v)
+    {
+        prefix();
+        emitf("%d", v);
+    }
+    void
+    value(bool v)
+    {
+        prefix();
+        emit(v ? "true" : "false");
+    }
+    /** Double with an explicit printf format, e.g. "%.6f". */
+    void
+    value(double v, const char *fmt = "%.6g")
+    {
+        prefix();
+        emitf(fmt, v);
+    }
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    void
+    field(const char *k, T v)
+    {
+        key(k);
+        value(v);
+    }
+    void
+    field(const char *k, double v, const char *fmt)
+    {
+        key(k);
+        value(v, fmt);
+    }
+
+    /** Finish the document (newline; caller owns the sink). */
+    void
+    finish()
+    {
+        emit("\n");
+    }
+
+    /**
+     * JSON string escaping per RFC 8259: backslash, double quote, and
+     * control characters (U+0000..U+001F). Exposed for tests.
+     */
+    static std::string
+    escaped(const char *s)
+    {
+        std::string r;
+        for (const char *p = s; *p; ++p) {
+            unsigned char c = (unsigned char)*p;
+            switch (c) {
+            case '"': r += "\\\""; break;
+            case '\\': r += "\\\\"; break;
+            case '\b': r += "\\b"; break;
+            case '\f': r += "\\f"; break;
+            case '\n': r += "\\n"; break;
+            case '\r': r += "\\r"; break;
+            case '\t': r += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    snprintf(buf, sizeof buf, "\\u%04x", c);
+                    r += buf;
+                } else {
+                    r += (char)c;
+                }
+            }
+        }
+        return r;
+    }
+
+  private:
+    void
+    emit(const char *s)
+    {
+        if (f_)
+            fputs(s, f_);
+        else
+            out_->append(s);
+    }
+
+    void
+    emitf(const char *fmt, ...)
+    {
+        char buf[128];
+        va_list ap;
+        va_start(ap, fmt);
+        vsnprintf(buf, sizeof buf, fmt, ap);
+        va_end(ap);
+        emit(buf);
+    }
+
+    void
+    emitQuoted(const char *s)
+    {
+        emit("\"");
+        emit(escaped(s).c_str());
+        emit("\"");
+    }
+
+    void
+    open(char c)
+    {
+        prefix();
+        char b[2] = {c, 0};
+        emit(b);
+        stack_.push_back(false);
+    }
+
+    void
+    close(char c)
+    {
+        bool hadItems = stack_.back();
+        stack_.pop_back();
+        if (hadItems) {
+            emit("\n");
+            indent();
+        }
+        char b[2] = {c, 0};
+        emit(b);
+    }
+
+    /** Comma/newline/indent before an item; no-op after key(). */
+    void
+    prefix()
+    {
+        if (keyed_) {
+            keyed_ = false;
+            return;
+        }
+        if (stack_.empty())
+            return;
+        if (stack_.back())
+            emit(",");
+        stack_.back() = true;
+        emit("\n");
+        indent();
+    }
+
+    void
+    indent()
+    {
+        for (size_t i = 0; i < stack_.size(); ++i)
+            emit("  ");
+    }
+
+    FILE *f_ = nullptr;
+    std::string *out_ = nullptr;
+    std::vector<bool> stack_;
+    bool keyed_ = false;
+};
+
+} // namespace ncore
+
+#endif // NCORE_COMMON_JSON_H

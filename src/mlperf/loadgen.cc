@@ -51,4 +51,17 @@ runOffline(ServeEngine &engine, const ServeConfig &cfg, int queries,
     return res;
 }
 
+bool
+exportServeTelemetry(const ServeResult &result,
+                     const std::string &trace_path,
+                     const std::string &metrics_path)
+{
+    bool ok = true;
+    if (!trace_path.empty())
+        ok = writeChromeTrace(result.trace(), trace_path) && ok;
+    if (!metrics_path.empty())
+        ok = writePrometheus(result.stats, metrics_path) && ok;
+    return ok;
+}
+
 } // namespace ncore

@@ -63,6 +63,18 @@ OfflineResult runOffline(double steady_state_ips, int samples);
 OfflineResult runOffline(ServeEngine &engine, const ServeConfig &cfg,
                          int queries, ServeResult *detail = nullptr);
 
+/**
+ * Export a serving run's telemetry: Chrome trace-event JSON of the
+ * virtual DES timeline to `trace_path` and/or a Prometheus text
+ * snapshot of the unified counter registry to `metrics_path` (either
+ * may be empty to skip). This is the `--trace=` / `--metrics=`
+ * surface of serve_bench and the MLPerf harness. Returns false if
+ * any requested file could not be written.
+ */
+bool exportServeTelemetry(const ServeResult &result,
+                          const std::string &trace_path,
+                          const std::string &metrics_path);
+
 } // namespace ncore
 
 #endif // NCORE_MLPERF_LOADGEN_H

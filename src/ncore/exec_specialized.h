@@ -40,7 +40,8 @@
  * identical RAM contents, accumulators, predicates, N/OUT registers,
  * perf counters and cycle counts (enforced by tests/fastpath_diff_test
  * on random programs). Setting NCORE_SIM_GENERIC=1 in the environment
- * (or Machine::setGenericExec(true)) forces the generic path.
+ * (or constructing with Machine::Options{ExecEngine::Generic}) forces
+ * the generic path.
  */
 
 #ifndef NCORE_NCORE_EXEC_SPECIALIZED_H

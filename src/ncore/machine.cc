@@ -22,10 +22,22 @@ signed10(uint32_t v)
                                           : int32_t(v));
 }
 
-/** NCORE_SIM_GENERIC=1 disables the specialized engine process-wide. */
+/**
+ * Resolve Options::execEngine. This is the single place the
+ * NCORE_SIM_GENERIC env var is honored: ExecEngine::Default picks
+ * the specialized engine unless NCORE_SIM_GENERIC=1 is set.
+ */
 bool
-fastExecDefault()
+resolveFastExec(ExecEngine e)
 {
+    switch (e) {
+      case ExecEngine::Specialized:
+        return true;
+      case ExecEngine::Generic:
+        return false;
+      case ExecEngine::Default:
+        break;
+    }
     const char *env = std::getenv("NCORE_SIM_GENERIC");
     return env == nullptr || env[0] == '\0' || env[0] == '0';
 }
@@ -33,12 +45,13 @@ fastExecDefault()
 } // namespace
 
 Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
-                 SystemMemory *sysmem, bool model_ecc)
+                 SystemMemory *sysmem, bool model_ecc, const Options &opts)
     : cfg_(cfg), soc_(soc), rowBytes_(cfg.rowBytes()),
       dataRam_("dataRam", cfg.ramRows, rowBytes_, model_ecc),
       weightRam_("weightRam", cfg.ramRows, rowBytes_, model_ecc),
       iram_(kPcSpace), decoded_(kPcSpace), plans_(kPcSpace),
-      fastExec_(fastExecDefault())
+      fastExec_(resolveFastExec(opts.execEngine)),
+      sink_(opts.traceSink)
 {
     panic_if(rowBytes_ % 64 != 0, "row bytes must be a multiple of 64");
     for (auto &r : n_)
@@ -100,6 +113,33 @@ Machine::reset()
         bindPlan(i);
     }
     loadRom();
+}
+
+void
+Machine::publishStats(Stats &into) const
+{
+    into.add(stats::kNcoreCycles, perf_.cycles);
+    into.add(stats::kNcoreInstructions, perf_.instructions);
+    into.add(stats::kNcoreMacOps, perf_.macOps);
+    into.add(stats::kNcoreNduOps, perf_.nduOps);
+    into.add(stats::kNcoreRamReads, perf_.ramReads);
+    into.add(stats::kNcoreRamWrites, perf_.ramWrites);
+    into.add(stats::kNcoreDmaFenceStalls, perf_.dmaFenceStalls);
+    into.add(stats::kNcoreEvents, eventLog_.totalRecorded());
+
+    const DmaStats &d = dma_->stats();
+    into.add(stats::kDmaBytesRead, d.bytesRead);
+    into.add(stats::kDmaBytesWritten, d.bytesWritten);
+    into.add(stats::kDmaTransfers, d.transfers);
+    into.add(stats::kDmaBusyCycles, d.busyCycles);
+    into.add(stats::kDmaStallCycles, d.stallCycles);
+
+    into.add(stats::kEccCorrectedData, dataRam_.eccStats().corrected);
+    into.add(stats::kEccUncorrectableData,
+             dataRam_.eccStats().uncorrectable);
+    into.add(stats::kEccCorrectedWeight, weightRam_.eccStats().corrected);
+    into.add(stats::kEccUncorrectableWeight,
+             weightRam_.eccStats().uncorrectable);
 }
 
 PlanBindings
@@ -286,8 +326,13 @@ Machine::advancePcWithCallback()
     }
     pc_ = next;
     // Fire after pc_ moves so the callback may write the freed bank.
-    if (freed >= 0 && onBankFree_)
-        onBankFree_(freed);
+    if (freed >= 0) {
+        if (sink_)
+            sink_->onInstant("iram_bank_free", perf_.cycles,
+                             uint64_t(freed));
+        if (onBankFree_)
+            onBankFree_(freed);
+    }
 }
 
 uint64_t
@@ -337,15 +382,21 @@ Machine::step()
         break;
       case CtrlOp::DmaFence: {
         int q = in.ctrl.reg;
+        uint64_t stall0 = cost;
         while (dma_->queueBusy(q)) {
             dma_->advance(8);
             cost += 8;
             perf_.dmaFenceStalls += 8;
         }
+        if (sink_ && cost > stall0)
+            sink_->onSpan("dma_fence_stall", perf_.cycles + stall0,
+                          perf_.cycles + cost);
         break;
       }
       case CtrlOp::Event:
         eventLog_.record(perf_.cycles, in.ctrl.imm);
+        if (sink_)
+            sink_->onInstant("event", perf_.cycles, in.ctrl.imm);
         break;
       case CtrlOp::Halt:
         halted = true;

@@ -44,8 +44,35 @@
 #include "ncore/ram.h"
 #include "soc/dma.h"
 #include "soc/sysmem.h"
+#include "telemetry/stats.h"
+#include "telemetry/trace.h"
 
 namespace ncore {
+
+/** Which instruction-execution engine a Machine runs. */
+enum class ExecEngine : uint8_t
+{
+    /// Specialized unless NCORE_SIM_GENERIC=1 is set in the
+    /// environment (the one place the env var is honored).
+    Default,
+    Specialized, ///< Pre-decoded fast path (exec_specialized.h).
+    Generic,     ///< Reference interpreter (debug / differential).
+};
+
+/**
+ * Construction-time Machine knobs (spelled Machine::Options at use
+ * sites). Replaces the old setGenericExec() setter + scattered
+ * NCORE_SIM_GENERIC sniffing: engine choice and telemetry sink are
+ * fixed for the Machine's lifetime.
+ */
+struct MachineOptions
+{
+    ExecEngine execEngine = ExecEngine::Default;
+    /// Live cycle-domain listener (nullptr = telemetry off; the
+    /// simulator then does no telemetry work at all). Not owned;
+    /// must outlive the Machine.
+    TraceSink *traceSink = nullptr;
+};
 
 /** Result of Machine::run(). */
 struct RunResult
@@ -80,8 +107,11 @@ class Machine : public RamRowPort
     static constexpr int kRomBase = 2 * kBankInstrs;
     static constexpr int kPcSpace = 3 * kBankInstrs;
 
+    using Options = MachineOptions;
+
     Machine(const MachineConfig &cfg, const SocConfig &soc,
-            SystemMemory *sysmem = nullptr, bool model_ecc = false);
+            SystemMemory *sysmem = nullptr, bool model_ecc = false,
+            const Options &opts = {});
     ~Machine() override;
 
     const MachineConfig &config() const { return cfg_; }
@@ -140,6 +170,15 @@ class Machine : public RamRowPort
     const PerfCounters &perf() const { return perf_; }
     void clearPerf() { perf_ = PerfCounters{}; }
 
+    /**
+     * Publish every hardware counter this Machine owns into the
+     * unified registry: perf counters, DMA engine stats, and both
+     * SRAM banks' ECC stats (telemetry/stats.h names). Callers
+     * snapshot before/after a window and Stats::diffFrom() the two
+     * to attribute counters to that window.
+     */
+    void publishStats(Stats &into) const;
+
     /** Pause every n cycles (0 disables). */
     void setNStep(uint64_t n) { nStep_ = n; }
 
@@ -164,14 +203,16 @@ class Machine : public RamRowPort
     // --- Execution engine selection --------------------------------------
 
     /**
-     * Force the generic interpreter instead of the pre-decoded
-     * specialized engine (see exec_specialized.h). Also settable for a
-     * whole process with NCORE_SIM_GENERIC=1 in the environment. Both
-     * engines are architecturally bit-identical; the generic path
-     * exists for debugging and differential testing.
+     * True when the pre-decoded specialized engine is active (see
+     * exec_specialized.h); false for the generic interpreter. Chosen
+     * at construction via Options::execEngine — both engines are
+     * architecturally bit-identical; the generic path exists for
+     * debugging and differential testing.
      */
-    void setGenericExec(bool generic) { fastExec_ = !generic; }
     bool usingFastPath() const { return fastExec_; }
+
+    /** The telemetry sink installed at construction (may be null). */
+    TraceSink *traceSink() const { return sink_; }
 
     // --- Architectural state peeks (differential testing / debug) --------
 
@@ -273,6 +314,7 @@ class Machine : public RamRowPort
     int pc_ = 0;
     bool running_ = false;
     bool fastExec_ = true; ///< Specialized engine (vs generic interpreter).
+    TraceSink *sink_ = nullptr; ///< Cycle-domain telemetry (not owned).
     /// Thread that called start(); run() asserts single-thread
     /// affinity per program launch (see run()).
     std::thread::id ownerThread_;

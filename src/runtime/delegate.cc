@@ -1,8 +1,19 @@
 #include "delegate.h"
 
+#include <cstdio>
 #include <unordered_map>
 
 namespace ncore {
+
+double
+spanSeconds(const std::vector<TraceSpan> &spans, SpanCat cat)
+{
+    double s = 0;
+    for (const TraceSpan &sp : spans)
+        if (sp.cat == cat)
+            s += sp.dur;
+    return s;
+}
 
 InferenceResult
 DelegateExecutor::infer(const std::vector<Tensor> &inputs)
@@ -14,6 +25,7 @@ DelegateExecutor::infer(const std::vector<Tensor> &inputs)
              "model expects %zu inputs", g.inputs().size());
 
     InferenceResult result;
+    double t = 0; ///< Cursor on the sequential inference timeline.
     std::unordered_map<TensorId, Tensor> values;
 
     for (TensorId id = 0; id < g.numTensors(); ++id)
@@ -37,7 +49,10 @@ DelegateExecutor::infer(const std::vector<Tensor> &inputs)
                 ins.push_back(&values.at(in));
             values[n.outputs[0]] =
                 ReferenceExecutor::executeNode(g, n, ins);
-            result.timing.x86OpSeconds += cost_.nodeSeconds(g, n);
+            double cost = cost_.nodeSeconds(g, n);
+            result.spans.push_back(
+                {opKindName(n.kind), SpanCat::X86Op, t, cost});
+            t += cost;
             done[ni] = true;
             continue;
         }
@@ -52,29 +67,53 @@ DelegateExecutor::infer(const std::vector<Tensor> &inputs)
             edge_bytes += int64_t(sg_inputs.back().byteSize());
         }
 
-        InvokeStats stats;
+        InvokeStats st;
         std::vector<Tensor> sg_outputs =
-            runtime_.invoke(assignment, sg_inputs, &stats);
+            runtime_.invoke(assignment, sg_inputs, &st);
 
         for (size_t oi = 0; oi < sg.outputs.size(); ++oi) {
             edge_bytes += int64_t(sg_outputs[oi].byteSize());
             values[sg.outputs[oi]] = std::move(sg_outputs[oi]);
         }
 
-        result.timing.ncoreCycles += stats.cycles;
-        result.timing.ncoreMacs += stats.macOps;
-        result.timing.dmaBytes += stats.dmaBytesRead;
-        result.timing.ncoreSeconds +=
-            double(stats.cycles) / runtime_.clockHz();
-        result.timing.layoutSeconds +=
-            cost_.layoutConversionSeconds(edge_bytes);
+        // Device span plus cycle-exact detail children, placed on the
+        // timeline at the invocation's offset.
+        const double hz = runtime_.clockHz();
+        double dev_dur = double(st.cycles()) / hz;
+        char label[32];
+        snprintf(label, sizeof label, "subgraph%d", assignment);
+        result.spans.push_back({label, SpanCat::Ncore, t, dev_dur});
+        for (const CycleSpan &cs : st.spans)
+            result.spans.push_back({cs.name, SpanCat::NcoreDetail,
+                                    t + double(cs.begin) / hz,
+                                    double(cs.cycles()) / hz});
+        t += dev_dur;
+        result.counters.merge(st.counters);
+
+        double layout_cost = cost_.layoutConversionSeconds(edge_bytes);
+        result.spans.push_back(
+            {"layout_edges", SpanCat::Layout, t, layout_cost});
+        t += layout_cost;
 
         for (int id : sg.nodeIds)
             done[size_t(id)] = true;
     }
 
+    double fw = cost_.frameworkOverheadSeconds(int(g.nodes().size()));
+    result.spans.push_back({"framework", SpanCat::Framework, t, fw});
+
+    // The reported breakdown is *derived from the spans* (summed per
+    // category in recording order), not accumulated separately.
+    result.timing.ncoreSeconds = spanSeconds(result.spans, SpanCat::Ncore);
+    result.timing.x86OpSeconds = spanSeconds(result.spans, SpanCat::X86Op);
+    result.timing.layoutSeconds =
+        spanSeconds(result.spans, SpanCat::Layout);
     result.timing.frameworkSeconds =
-        cost_.frameworkOverheadSeconds(int(g.nodes().size()));
+        spanSeconds(result.spans, SpanCat::Framework);
+    result.timing.ncoreCycles =
+        result.counters.counter(stats::kNcoreCycles);
+    result.timing.ncoreMacs = result.counters.counter(stats::kNcoreMacOps);
+    result.timing.dmaBytes = result.counters.counter(stats::kDmaBytesRead);
 
     for (TensorId out : g.outputs())
         result.outputs.push_back(values.at(out));

@@ -13,12 +13,19 @@
 #include <vector>
 
 #include "runtime/runtime.h"
+#include "telemetry/trace.h"
 #include "x86/cost_model.h"
 #include "x86/reference.h"
 
 namespace ncore {
 
-/** Timing breakdown of one inference (single batch, one x86 core). */
+/**
+ * Timing breakdown of one inference (single batch, one x86 core).
+ * Derived from the inference's span timeline (see InferenceResult):
+ * each component is the sum of that category's span durations, in
+ * recording order, so the breakdown and the trace can never
+ * disagree.
+ */
 struct InferenceTiming
 {
     double ncoreSeconds = 0;     ///< Coprocessor execution time.
@@ -38,11 +45,31 @@ struct InferenceTiming
     double total() const { return ncoreSeconds + x86Seconds(); }
 };
 
-/** Result of one delegate-executed inference. */
+/** Sum of the durations of `cat` spans, in recording order. */
+double spanSeconds(const std::vector<TraceSpan> &spans, SpanCat cat);
+
+/**
+ * Result of one delegate-executed inference. Everything observable
+ * about the inference rides here — counters and spans included — so
+ * layers above (e.g. the serving engine's sample memoization) can
+ * reuse a result without re-querying any machine state.
+ */
 struct InferenceResult
 {
     std::vector<Tensor> outputs;
-    InferenceTiming timing;
+    InferenceTiming timing; ///< Span-derived (see InferenceTiming).
+    /// Unified counter deltas merged over every runtime invocation
+    /// of this inference (telemetry/stats.h names).
+    Stats counters;
+    /**
+     * The inference timeline: one span per x86 node, Ncore subgraph
+     * invocation (with NcoreDetail children: band/main programs,
+     * IRAM swaps, counter-sourced DMA aggregates), layout edge, plus
+     * the trailing framework overhead. Starts at t=0 seconds; purely
+     * virtual (cost-model + simulated-cycle durations), so
+     * bit-identical across runs.
+     */
+    std::vector<TraceSpan> spans;
 };
 
 /** Executes a loaded model, dispatching subgraphs per the Loadable. */

@@ -1,5 +1,7 @@
 #include "runtime.h"
 
+#include <string_view>
+
 namespace ncore {
 
 namespace {
@@ -37,24 +39,11 @@ NcoreRuntime::~NcoreRuntime()
 void
 NcoreRuntime::loadModel(const Loadable &loadable)
 {
-    shared_.reset();
-    model_ = &loadable;
-    ownCache_ = buildProgramCache(loadable, machine_->config().iramEntries);
-    cache_ = &ownCache_;
-
-    streamBase_.assign(loadable.subgraphs.size(), 0);
-    for (size_t si = 0; si < loadable.subgraphs.size(); ++si) {
-        const CompiledSubgraph &sg = loadable.subgraphs[si];
-        if (sg.weightsPersistent)
-            continue;
-        // Weights live in system DRAM; this context places its own
-        // copy (the shared-model path shares one placement instead).
-        uint64_t base = driver_.allocateDmaMemory(sg.streamImage.size());
-        streamBase_[si] = base;
-        machine_->sysmem().write(base, sg.streamImage.data(),
-                                 sg.streamImage.size());
-    }
-    loadImages();
+    // Single-owner SharedModel: copy the Loadable into a LoadedModel
+    // held only by this context, so the shared path below is the one
+    // load/program-cache implementation.
+    loadModel(LoadedModel::create(Loadable(loadable),
+                                  machine_->config().iramEntries));
 }
 
 void
@@ -64,7 +53,6 @@ NcoreRuntime::loadModel(SharedModel model)
     shared_ = std::move(model);
     model_ = &shared_->loadable();
     cache_ = &shared_->programCache();
-    ownCache_ = ModelProgramCache{};
     fatal_if(cache_->bankInstrs != machine_->config().iramEntries,
              "shared program cache built for %d-entry IRAM banks, "
              "device has %d",
@@ -135,30 +123,42 @@ NcoreRuntime::loadImages()
 
 void
 NcoreRuntime::runProgram(
-    const std::vector<std::vector<EncodedInstruction>> &segments)
+    const std::vector<std::vector<EncodedInstruction>> &segments,
+    const char *span_name, InvokeStats *st, uint64_t t0)
 {
     // Stream the pre-segmented program through the double-buffered
     // IRAM: fill both banks, then refill each bank as the sequencer
     // leaves it. The paper (IV-C) measures that this loading never
     // stalls execution, so no extra cycles are modeled for it.
     size_t next = 0;
+    bool streaming = false;
     auto fill = [&](int b) {
-        if (next < segments.size())
+        if (next < segments.size()) {
             machine_->writeIram(b, segments[next++]);
+            if (st && streaming) {
+                // Zero-length span marking a mid-program bank swap.
+                uint64_t c = machine_->cycles() - t0;
+                st->spans.push_back({"iram_swap", c, c});
+            }
+        }
     };
     fill(0);
     fill(1);
+    streaming = true;
+    uint64_t begin = machine_->cycles() - t0;
     machine_->setBankFreeCallback([&](int freed) { fill(freed); });
     machine_->start(0);
     RunResult res = machine_->run();
     machine_->setBankFreeCallback(nullptr);
     fatal_if(res.reason != StopReason::Halted,
              "Ncore program did not run to completion");
+    if (st)
+        st->spans.push_back({span_name, begin, machine_->cycles() - t0});
 }
 
 std::vector<Tensor>
 NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
-                     InvokeStats *stats)
+                     InvokeStats *st)
 {
     fatal_if(!model_, "invoke before loadModel");
     const CompiledSubgraph &sg =
@@ -169,11 +169,18 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
              "subgraph expects %zu inputs, got %zu", sg.inputs.size(),
              inputs.size());
 
-    const uint64_t cycles0 = machine_->cycles();
-    const uint64_t macs0 = machine_->perf().macOps;
-    const uint64_t dma0 = machine_->dma().stats().bytesRead;
-    const uint64_t stall0 = machine_->perf().dmaFenceStalls;
-    const uint64_t events0 = machine_->eventLog().totalRecorded();
+    // Snapshot the full unified counter registry; the invocation's
+    // attribution is the diff (replaces field-by-field hand copying).
+    Stats before;
+    uint64_t events0 = 0;
+    const uint64_t t0 = machine_->cycles();
+    if (st) {
+        st->counters.clear();
+        st->spans.clear();
+        st->events.clear();
+        machine_->publishStats(before);
+        events0 = machine_->eventLog().totalRecorded();
+    }
 
     // Pack inputs into the internal layouts (subgraph edges) through
     // the reusable staging buffer; pack kernels may skip padding
@@ -226,11 +233,11 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
                 machine_->hostWriteRow(false, lay.baseRow + r,
                                        packBuf_.data() +
                                            size_t(r) * 4096);
-            runProgram(pc.bandSegments[bi][b]);
+            runProgram(pc.bandSegments[bi][b], "band_program", st, t0);
         }
     }
 
-    runProgram(pc.codeSegments);
+    runProgram(pc.codeSegments, "program", st, t0);
 
     // Unpack outputs (the buffer is fully overwritten by the row
     // reads, so no re-zeroing is needed here).
@@ -252,20 +259,34 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
         outs.push_back(std::move(t));
     }
 
-    if (stats) {
-        stats->cycles = machine_->cycles() - cycles0;
-        stats->macOps = machine_->perf().macOps - macs0;
-        stats->dmaBytesRead =
-            machine_->dma().stats().bytesRead - dma0;
-        stats->dmaStallCycles =
-            machine_->perf().dmaFenceStalls - stall0;
+    if (st) {
+        Stats after;
+        machine_->publishStats(after);
+        st->counters = after.diffFrom(before);
+        st->counters.add(stats::kInvokes, uint64_t(1));
+        uint64_t swaps = 0;
+        for (const CycleSpan &s : st->spans)
+            if (s.name == std::string_view("iram_swap"))
+                ++swaps;
+        st->counters.add(stats::kIramSwaps, swaps);
+
+        // Aggregate counter-sourced detail spans, anchored at the
+        // invocation origin (duration is exact; position is the
+        // window, not an instant — see DESIGN.md "Telemetry").
+        uint64_t stall = st->dmaStallCycles();
+        if (stall > 0)
+            st->spans.push_back({"dma_fence_stall", 0, stall});
+        uint64_t dmaBusy = st->counters.counter(stats::kDmaBusyCycles);
+        if (dmaBusy > 0)
+            st->spans.push_back({"dma_stream_in", 0, dmaBusy});
+
         auto all = machine_->eventLog().snapshot();
         uint64_t new_events =
             machine_->eventLog().totalRecorded() - events0;
         size_t start = all.size() >= new_events
                            ? all.size() - size_t(new_events)
                            : 0;
-        stats->events.assign(all.begin() + long(start), all.end());
+        st->events.assign(all.begin() + long(start), all.end());
     }
     return outs;
 }

@@ -14,17 +14,42 @@
 
 #include "gcl/loadable.h"
 #include "runtime/driver.h"
+#include "telemetry/stats.h"
+#include "telemetry/trace.h"
 
 namespace ncore {
 
-/** Timing/debug record of one subgraph invocation. */
+/**
+ * Telemetry record of one subgraph invocation: the full unified
+ * counter delta for the invocation window (every counter the Machine
+ * publishes — cycles, MACs, DMA bytes/stalls, ECC, ... — diffed
+ * before/after instead of hand-copied field by field), the
+ * invocation-relative cycle spans of its phases (band programs, main
+ * program, IRAM bank swaps, aggregate DMA-fence stalls), and the
+ * event-log records the program emitted.
+ *
+ * Cycle counts are architectural, so everything here is bit-identical
+ * across runs, hosts and thread counts.
+ */
 struct InvokeStats
 {
-    uint64_t cycles = 0;        ///< Ncore cycles for the invocation.
-    uint64_t macOps = 0;
-    uint64_t dmaBytesRead = 0;
-    uint64_t dmaStallCycles = 0;
+    Stats counters;               ///< Unified counter delta (stats.h).
+    std::vector<CycleSpan> spans; ///< Relative to the invocation start.
     std::vector<NcoreEvent> events;
+
+    // Shorthands for the common counters.
+    uint64_t cycles() const { return counters.counter(stats::kNcoreCycles); }
+    uint64_t macOps() const { return counters.counter(stats::kNcoreMacOps); }
+    uint64_t
+    dmaBytesRead() const
+    {
+        return counters.counter(stats::kDmaBytesRead);
+    }
+    uint64_t
+    dmaStallCycles() const
+    {
+        return counters.counter(stats::kNcoreDmaFenceStalls);
+    }
 };
 
 /** User-mode runtime bound to one Ncore device. */
@@ -38,10 +63,11 @@ class NcoreRuntime
     NcoreRuntime &operator=(const NcoreRuntime &) = delete;
 
     /**
-     * Load a compiled model: mask tables, persistent weights or the
-     * DRAM stream image + descriptors, requant tables and LUTs. The
-     * caller keeps the Loadable alive; this context derives (and owns)
-     * its program cache.
+     * Load a compiled model. Thin wrapper over the SharedModel path:
+     * copies the Loadable into a single-owner LoadedModel (this
+     * context alone holds the reference), so there is exactly one
+     * load/program-cache code path. The caller's Loadable need not
+     * outlive the call.
      */
     void loadModel(const Loadable &loadable);
 
@@ -77,14 +103,20 @@ class NcoreRuntime
 
   private:
     void loadImages();
+    /**
+     * Stream one pre-segmented program; when `st` is non-null,
+     * record a `span_name` CycleSpan (and per-swap "iram_swap"
+     * instants) relative to invocation start cycle `t0`.
+     */
     void runProgram(
-        const std::vector<std::vector<EncodedInstruction>> &segments);
+        const std::vector<std::vector<EncodedInstruction>> &segments,
+        const char *span_name = "program", InvokeStats *st = nullptr,
+        uint64_t t0 = 0);
 
     NcoreDriver &driver_;
     Machine *machine_ = nullptr;
     const Loadable *model_ = nullptr;
-    SharedModel shared_;           ///< Keeps a shared model alive.
-    ModelProgramCache ownCache_;   ///< Cache for the non-shared path.
+    SharedModel shared_;           ///< Keeps the loaded model alive.
     const ModelProgramCache *cache_ = nullptr;
     std::vector<uint64_t> streamBase_; ///< DRAM base per subgraph.
     std::vector<uint8_t> packBuf_; ///< Reusable layout-edge staging.

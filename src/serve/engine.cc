@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 #include <queue>
 #include <thread>
@@ -142,7 +143,8 @@ double
 ServeEngine::executeQuery(DeviceContext &dev, const ServeConfig &cfg,
                           int query, int sample,
                           std::vector<Tensor> prepped,
-                          ServeResult &result)
+                          ServeResult &result,
+                          std::vector<Stats> &query_counters)
 {
     InferenceResult r;
     bool from_memo = false;
@@ -162,6 +164,30 @@ ServeEngine::executeQuery(DeviceContext &dev, const ServeConfig &cfg,
         }
     }
     result.records[size_t(query)].sample = sample;
+
+    // Per-query telemetry rides on the InferenceResult — which flows
+    // through the memo cache and is bit-deterministic — never on the
+    // executing machine's cumulative wall-order counters (which
+    // device physically ran a memoized sample first is racy).
+    query_counters[size_t(query)] = r.counters;
+    std::vector<TraceSpan> &dspans = result.deviceSpans[size_t(query)];
+    double cursor = 0, par_infer = 0, par_rel = 0;
+    for (const TraceSpan &sp : r.spans) {
+        if (sp.cat == SpanCat::Ncore) {
+            // Device spans pack back-to-back inside the query's
+            // device window (the x86-resident interludes of the
+            // inference timeline are charged to the worker pool).
+            par_infer = sp.start;
+            par_rel = cursor;
+            dspans.push_back({sp.name, sp.cat, cursor, sp.dur});
+            cursor += sp.dur;
+        } else if (sp.cat == SpanCat::NcoreDetail) {
+            dspans.push_back({sp.name, sp.cat,
+                              par_rel + (sp.start - par_infer),
+                              sp.dur});
+        }
+    }
+
     if (cfg.keepOutputs)
         result.outputs[size_t(query)] = std::move(r.outputs);
     // Virtual device occupancy: measured Ncore seconds. The x86-
@@ -244,7 +270,11 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
     std::vector<std::vector<Tensor>> prepped;
     prepped.resize(size_t(queries));
     std::vector<double> ncoreSec(size_t(queries), 0.0);
-    std::vector<uint64_t> devCycles(size_t(cfg.devices), 0);
+    // Query-indexed telemetry slots: device threads write disjoint
+    // entries, merged single-threaded after the join.
+    std::vector<Stats> queryCounters;
+    queryCounters.resize(size_t(queries));
+    result.deviceSpans.resize(size_t(queries));
 
     // x86 pre-stage pool: real threads materialize each query's input
     // from its sample (the functional share of preprocessing); the
@@ -304,11 +334,11 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
                     int sample = int(size_t(q) % samples_.size());
                     ncoreSec[size_t(q)] = executeQuery(
                         dev, cfg, q, sample,
-                        std::move(prepped[size_t(q)]), result);
+                        std::move(prepped[size_t(q)]), result,
+                        queryCounters);
                     prepped[size_t(q)].clear();
                 }
             }
-            devCycles[size_t(d)] = dev.machine.cycles();
         });
 
     for (int q = 0; q < queries; ++q)
@@ -320,11 +350,11 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
     drivers.clear(); // join device drivers
 
     // Virtual device cycles (includes memoized repeats, which the
-    // machines did not re-execute).
+    // machines did not re-execute) — summed exactly from the
+    // per-query counter deltas, no seconds round-trip.
     for (int q = 0; q < queries; ++q)
-        result.deviceCycles += uint64_t(
-            ncoreSec[size_t(q)] *
-            contexts_[0]->machine.config().clockHz);
+        result.deviceCycles +=
+            queryCounters[size_t(q)].counter(stats::kNcoreCycles);
 
     // ---- Virtual-time replay ----------------------------------------
     // Exact discrete-event schedule of the pipeline: a FIFO pool of
@@ -438,6 +468,51 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
         max_depth = std::max(max_depth, depth);
     }
     result.maxQueueDepth = size_t(max_depth);
+
+    // ---- Unified stats registry -------------------------------------
+    // Seed the hardware counter families at 0 so snapshots always
+    // expose them, then merge every query's counter delta (virtual
+    // totals: memoized repeats count their cached deltas).
+    for (const char *name :
+         {stats::kNcoreCycles, stats::kNcoreInstructions,
+          stats::kNcoreMacOps, stats::kNcoreNduOps, stats::kNcoreRamReads,
+          stats::kNcoreRamWrites, stats::kNcoreDmaFenceStalls,
+          stats::kNcoreEvents, stats::kDmaBytesRead,
+          stats::kDmaBytesWritten, stats::kDmaTransfers,
+          stats::kDmaBusyCycles, stats::kDmaStallCycles,
+          stats::kEccCorrectedData, stats::kEccCorrectedWeight,
+          stats::kEccUncorrectableData, stats::kEccUncorrectableWeight,
+          stats::kIramSwaps})
+        result.stats.add(name, 0.0);
+    for (int q = 0; q < queries; ++q)
+        result.stats.merge(queryCounters[size_t(q)]);
+
+    result.stats.add(stats::kServeQueries, uint64_t(queries));
+    result.stats.add(stats::kServeBatches, uint64_t(num_batches));
+    std::vector<int> hist = result.batchSizeHistogram();
+    for (size_t s = 1; s < hist.size(); ++s)
+        if (hist[s] > 0)
+            result.stats.add(stats::batchSizeCounter(int(s)),
+                             uint64_t(hist[s]));
+    result.stats.set(stats::kServeQueueDepthPeak,
+                     double(result.maxQueueDepth));
+    result.stats.set(stats::kServeMakespan, result.seconds);
+    result.stats.set(stats::kServeIps, result.ips);
+    result.stats.set(stats::latencyQuantile("0.5"), result.p50);
+    result.stats.set(stats::latencyQuantile("0.9"), result.p90);
+    result.stats.set(stats::latencyQuantile("0.99"), result.p99);
+
+    // Per-device busy seconds from the replay's batch windows.
+    std::vector<double> devBusy(size_t(cfg.devices), 0.0);
+    for (int b = 0; b < num_batches; ++b) {
+        const auto &members = plan.batches[size_t(b)];
+        const QueryRecord &first = result.records[size_t(members.front())];
+        const QueryRecord &last = result.records[size_t(members.back())];
+        devBusy[size_t(plan.deviceOfBatch[size_t(b)])] +=
+            last.devDone - first.devStart;
+    }
+    for (int d = 0; d < cfg.devices; ++d)
+        result.stats.add(stats::deviceBusyCounter(d), devBusy[size_t(d)]);
     return result;
 }
 
@@ -451,6 +526,119 @@ ServeResult::batchSizeHistogram() const
         ++hist[size_t(s)];
     }
     return hist;
+}
+
+std::vector<TraceSpan>
+ServeResult::querySpans(int query) const
+{
+    const QueryRecord &r = records.at(size_t(query));
+    // Adjacent by construction: each span starts exactly where the
+    // previous one ends, and the last ends at postDone, so the six
+    // durations telescope to latency() exactly.
+    return {
+        {"queue", SpanCat::Framework, r.arrival, r.preStart - r.arrival},
+        {"pre", SpanCat::X86Op, r.preStart, r.preDone - r.preStart},
+        {"batch_wait", SpanCat::Framework, r.preDone,
+         r.devStart - r.preDone},
+        {"device", SpanCat::Ncore, r.devStart, r.devDone - r.devStart},
+        {"post_wait", SpanCat::Framework, r.devDone,
+         r.postStart - r.devDone},
+        {"post", SpanCat::X86Op, r.postStart, r.postDone - r.postStart},
+    };
+}
+
+std::vector<TraceEvent>
+ServeResult::trace() const
+{
+    std::vector<TraceEvent> ev;
+
+    // Track metadata: pid 0 = per-query pipeline, pid 1 = devices.
+    {
+        TraceEvent p0;
+        p0.name = "process_name";
+        p0.ph = 'M';
+        p0.pid = 0;
+        p0.args.emplace_back("name", "queries");
+        ev.push_back(p0);
+        TraceEvent p1 = p0;
+        p1.pid = 1;
+        p1.args[0].second = "devices";
+        ev.push_back(p1);
+    }
+    int num_devices = 0;
+    for (const QueryRecord &r : records)
+        num_devices = std::max(num_devices, r.device + 1);
+    for (int d = 0; d < num_devices; ++d) {
+        char buf[32];
+        snprintf(buf, sizeof buf, "device %d", d);
+        ev.push_back(threadNameEvent(1, d, buf));
+    }
+
+    // pid 0: each query's pipeline partition on its own track.
+    for (const QueryRecord &r : records) {
+        for (const TraceSpan &sp : querySpans(r.query)) {
+            if (sp.dur <= 0 && sp.name != "device")
+                continue; // Skip empty waits; keep tracks readable.
+            TraceEvent e = completeEvent(sp.name, spanCatName(sp.cat),
+                                         sp.start * 1e6, sp.dur * 1e6,
+                                         0, r.query);
+            if (sp.name == "device") {
+                char buf[32];
+                snprintf(buf, sizeof buf, "%d", r.device);
+                e.args.emplace_back("device", buf);
+                snprintf(buf, sizeof buf, "%d", r.batch);
+                e.args.emplace_back("batch", buf);
+            }
+            ev.push_back(e);
+        }
+    }
+
+    // pid 1: per-device batch windows with per-query device windows
+    // and cycle-exact detail children nested inside.
+    for (size_t b = 0; b < batchSizes.size(); ++b) {
+        const QueryRecord *first = nullptr;
+        const QueryRecord *last = nullptr;
+        for (const QueryRecord &r : records) {
+            if (size_t(r.batch) != b)
+                continue;
+            if (!first)
+                first = &r;
+            last = &r;
+        }
+        if (!first)
+            continue;
+        char buf[48];
+        snprintf(buf, sizeof buf, "batch %zu (x%d)", b, batchSizes[b]);
+        ev.push_back(completeEvent(
+            buf, "batch", first->devStart * 1e6,
+            (last->devDone - first->devStart) * 1e6, 1, first->device));
+    }
+    // Per-query device occupancy: queries in one batch run serially,
+    // so within a batch the devDone values are the serial prefix
+    // ends — query q's window is [prev.devDone (or the batch's
+    // devStart for the first member), q.devDone].
+    for (size_t b = 0; b < batchSizes.size(); ++b) {
+        double cursor = -1;
+        for (const QueryRecord &r : records) {
+            if (size_t(r.batch) != b)
+                continue;
+            double start = cursor < 0 ? r.devStart : cursor;
+            cursor = r.devDone;
+            char buf[48];
+            snprintf(buf, sizeof buf, "q%d s%d", r.query, r.sample);
+            TraceEvent e =
+                completeEvent(buf, "ncore", start * 1e6,
+                              (r.devDone - start) * 1e6, 1, r.device);
+            ev.push_back(e);
+            if (size_t(r.query) < deviceSpans.size())
+                for (const TraceSpan &sp : deviceSpans[size_t(r.query)])
+                    ev.push_back(completeEvent(
+                        sp.name, spanCatName(sp.cat),
+                        (start + sp.start) * 1e6, sp.dur * 1e6, 1,
+                        r.device));
+        }
+    }
+    return ev;
 }
 
 } // namespace ncore

@@ -109,6 +109,42 @@ struct ServeResult
     /// Per-query model outputs (empty unless cfg.keepOutputs).
     std::vector<std::vector<Tensor>> outputs;
 
+    /**
+     * Aggregated unified counter registry for the run: every ncore_*
+     * / dma_* / ecc counter summed over all queries (virtual totals —
+     * memoized repeats count, exactly as deviceCycles does), plus the
+     * serve_* metrics (query/batch totals, batch-size histogram,
+     * queue-depth peak, latency quantiles, per-device busy seconds).
+     * Everything derives from the deterministic replay and the
+     * per-inference counter deltas, never from wall-order machine
+     * state, so it is bit-identical across runs and thread counts.
+     */
+    Stats stats;
+
+    /**
+     * Per query: the device-side span breakdown of its inference
+     * (subgraph programs, IRAM swaps, DMA aggregates), in seconds
+     * relative to the query's devStart. Sourced from the memoizable
+     * InferenceResult, so identical for repeats of one sample.
+     */
+    std::vector<std::vector<TraceSpan>> deviceSpans;
+
+    /**
+     * The query's pipeline partition on the DES timeline: queue ->
+     * pre -> batch_wait -> device -> post_wait -> post. Spans are
+     * adjacent and exactly cover [arrival, postDone] (their sums
+     * reproduce latency() with no residue).
+     */
+    std::vector<TraceSpan> querySpans(int query) const;
+
+    /**
+     * Assemble the whole run into Chrome trace events (virtual DES
+     * time): pid 0 = one track per query (pipeline partition),
+     * pid 1 = one track per device (batch windows, per-query device
+     * windows, cycle-exact detail children).
+     */
+    std::vector<TraceEvent> trace() const;
+
     /** Batch-size histogram: hist[s] = batches of size s. */
     std::vector<int> batchSizeHistogram() const;
 };
@@ -168,11 +204,13 @@ class ServeEngine
     RunPlan makePlan(const ServeConfig &cfg, int queries) const;
 
     /** Execute one query on a device (or serve it from the memo
-     *  cache); returns measured Ncore seconds. */
+     *  cache); deposits the query's counters/spans into the
+     *  query-indexed slots and returns measured Ncore seconds. */
     double executeQuery(DeviceContext &dev, const ServeConfig &cfg,
                         int query, int sample,
                         std::vector<Tensor> prepped,
-                        ServeResult &result);
+                        ServeResult &result,
+                        std::vector<Stats> &query_counters);
 
     SharedModel model_;
     std::vector<std::vector<Tensor>> samples_;

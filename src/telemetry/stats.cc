@@ -1,0 +1,107 @@
+#include "telemetry/stats.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace ncore {
+namespace stats {
+
+std::string
+batchSizeCounter(int size)
+{
+    char buf[64];
+    snprintf(buf, sizeof buf, "serve_batch_size_total{size=\"%d\"}", size);
+    return buf;
+}
+
+std::string
+latencyQuantile(const char *q)
+{
+    std::string s = "serve_latency_seconds{quantile=\"";
+    s += q;
+    s += "\"}";
+    return s;
+}
+
+std::string
+deviceBusyCounter(int device)
+{
+    char buf[64];
+    snprintf(buf, sizeof buf,
+             "serve_device_busy_seconds_total{device=\"%d\"}", device);
+    return buf;
+}
+
+} // namespace stats
+
+namespace {
+
+/** Metric family = name with any {labels} suffix stripped. */
+std::string
+familyOf(const std::string &name)
+{
+    size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+bool
+endsWith(const std::string &s, const char *suffix)
+{
+    std::string suf(suffix);
+    return s.size() >= suf.size() &&
+           s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+}
+
+/**
+ * Deterministic value formatting: counters are almost always whole
+ * numbers — print those as integers; otherwise a fixed %.9g (enough
+ * for seconds-scale gauges, locale-independent).
+ */
+void
+formatValue(char *buf, size_t n, double v)
+{
+    if (std::floor(v) == v && std::fabs(v) < 9.007199254740992e15)
+        snprintf(buf, n, "%" PRId64, (int64_t)v);
+    else
+        snprintf(buf, n, "%.9g", v);
+}
+
+} // namespace
+
+std::string
+prometheusText(const Stats &s)
+{
+    std::string out;
+    std::string lastFamily;
+    for (const auto &[name, v] : s.entries()) {
+        std::string family = familyOf(name);
+        if (family != lastFamily) {
+            out += "# TYPE ";
+            out += family;
+            out += endsWith(family, "_total") ? " counter\n" : " gauge\n";
+            lastFamily = family;
+        }
+        char buf[64];
+        formatValue(buf, sizeof buf, v);
+        out += name;
+        out += ' ';
+        out += buf;
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writePrometheus(const Stats &s, const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string text = prometheusText(s);
+    size_t wrote = fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    return wrote == text.size();
+}
+
+} // namespace ncore

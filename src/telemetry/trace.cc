@@ -1,0 +1,100 @@
+#include "telemetry/trace.h"
+
+#include <cstdio>
+
+#include "common/json.h"
+
+namespace ncore {
+
+const char *
+spanCatName(SpanCat c)
+{
+    switch (c) {
+    case SpanCat::Ncore: return "ncore";
+    case SpanCat::NcoreDetail: return "ncore_detail";
+    case SpanCat::X86Op: return "x86";
+    case SpanCat::Layout: return "layout";
+    case SpanCat::Framework: return "framework";
+    }
+    return "?";
+}
+
+TraceEvent
+completeEvent(std::string name, std::string cat, double ts_us, double dur_us,
+              int pid, int tid)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = std::move(cat);
+    e.ph = 'X';
+    e.tsUs = ts_us;
+    e.durUs = dur_us;
+    e.pid = pid;
+    e.tid = tid;
+    return e;
+}
+
+TraceEvent
+threadNameEvent(int pid, int tid, std::string name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.args.emplace_back("name", std::move(name));
+    return e;
+}
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::string out;
+    JsonWriter j(&out);
+    j.beginObject();
+    j.key("traceEvents");
+    j.beginArray();
+    for (const TraceEvent &e : events) {
+        j.beginObject();
+        j.field("name", e.name);
+        if (!e.cat.empty())
+            j.field("cat", e.cat);
+        char ph[2] = {e.ph, 0};
+        j.field("ph", (const char *)ph);
+        if (e.ph != 'M') {
+            j.field("ts", e.tsUs, "%.6f");
+            if (e.ph == 'X')
+                j.field("dur", e.durUs, "%.6f");
+        }
+        j.field("pid", e.pid);
+        j.field("tid", e.tid);
+        if (!e.args.empty()) {
+            j.key("args");
+            j.beginObject();
+            for (const auto &[k, v] : e.args)
+                j.field(k.c_str(), v);
+            j.endObject();
+        }
+        j.endObject();
+    }
+    j.endArray();
+    j.field("displayTimeUnit", "ms");
+    j.endObject();
+    j.finish();
+    return out;
+}
+
+bool
+writeChromeTrace(const std::vector<TraceEvent> &events,
+                 const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::string text = chromeTraceJson(events);
+    size_t wrote = fwrite(text.data(), 1, text.size(), f);
+    fclose(f);
+    return wrote == text.size();
+}
+
+} // namespace ncore

@@ -390,10 +390,11 @@ class FastPathDiff : public ::testing::Test
 {
   protected:
     FastPathDiff()
-        : fast_(chaNcoreConfig(), chaSocConfig()),
-          gen_(chaNcoreConfig(), chaSocConfig())
+        : fast_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                {ExecEngine::Specialized, nullptr}),
+          gen_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+               {ExecEngine::Generic, nullptr})
     {
-        gen_.setGenericExec(true);
     }
 
     /** Program identical random machine state into both engines. */
@@ -402,8 +403,6 @@ class FastPathDiff : public ::testing::Test
     {
         fast_.reset();
         gen_.reset();
-        fast_.setGenericExec(false);
-        gen_.setGenericExec(true);
         std::vector<uint8_t> row(fast_.rowBytesInt());
         for (int r = 0; r < kRows; ++r) {
             for (auto &b : row)
@@ -503,10 +502,16 @@ TEST_F(FastPathDiff, EngineSelection)
 {
     EXPECT_TRUE(fast_.usingFastPath());
     EXPECT_FALSE(gen_.usingFastPath());
+    // ExecEngine::Default honors NCORE_SIM_GENERIC (the single place
+    // the env var is consulted).
     setenv("NCORE_SIM_GENERIC", "1", 1);
     Machine forced(chaNcoreConfig(), chaSocConfig());
+    // Explicit selection beats the env var.
+    Machine expl(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                 {ExecEngine::Specialized, nullptr});
     unsetenv("NCORE_SIM_GENERIC");
     EXPECT_FALSE(forced.usingFastPath());
+    EXPECT_TRUE(expl.usingFastPath());
     Machine dflt(chaNcoreConfig(), chaSocConfig());
     EXPECT_TRUE(dflt.usingFastPath());
 }

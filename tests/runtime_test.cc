@@ -7,6 +7,7 @@
  */
 
 #include <cstdlib>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -221,8 +222,24 @@ TEST_F(RuntimeTest, EventLogBracketsSubgraph)
     // invocation cycles minus host-side work.
     uint64_t bracketed = stats.events.back().cycle -
                          stats.events.front().cycle;
-    EXPECT_LE(bracketed, stats.cycles);
-    EXPECT_GT(bracketed, stats.cycles / 2);
+    EXPECT_LE(bracketed, stats.cycles());
+    EXPECT_GT(bracketed, stats.cycles() / 2);
+
+    // The unified counter registry carries the same attribution as
+    // the dedicated counters did, plus the invocation spans.
+    EXPECT_EQ(stats.cycles(),
+              stats.counters.counter(ncore::stats::kNcoreCycles));
+    EXPECT_EQ(stats.counters.counter(ncore::stats::kInvokes), 1u);
+    ASSERT_FALSE(stats.spans.empty());
+    // The last span is the main program window; it covers the
+    // bracketed event range.
+    const CycleSpan *program = nullptr;
+    for (const CycleSpan &s : stats.spans)
+        if (std::string_view(s.name) == "program")
+            program = &s;
+    ASSERT_NE(program, nullptr);
+    EXPECT_LE(program->cycles(), stats.cycles());
+    EXPECT_GE(program->cycles(), bracketed);
 }
 
 TEST_F(RuntimeTest, BandedStemChainMatchesReference)
