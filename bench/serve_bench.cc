@@ -18,7 +18,10 @@
  * the final MobileNet Offline run's Chrome trace-event JSON (open in
  * Perfetto / chrome://tracing) and Prometheus text snapshot. Both
  * derive from the virtual DES replay, so the files are byte-identical
- * across runs and thread counts.
+ * across runs and thread counts. Pass --profile=<path> to also run
+ * the cycle-exact microarchitectural profiler over one MobileNet
+ * sample (telemetry/profile.h) and write its per-layer roofline
+ * report as JSON (text summary goes to stderr).
  */
 
 #include <cstdio>
@@ -84,7 +87,8 @@ void
 benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
               const std::vector<RunSpec> &specs, int max_devices,
               const char *trace_path = nullptr,
-              const char *metrics_path = nullptr)
+              const char *metrics_path = nullptr,
+              const char *profile_path = nullptr)
 {
     WorkloadProfile p = measureWorkload(w);
 
@@ -146,6 +150,16 @@ benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
                 analytic, 100.0 * (r.ips / analytic - 1.0));
         emitRun(j, "offline", cfg, detail, analytic);
         best_ips = std::max(best_ips, r.ips);
+        if (&spec == &specs.back() && profile_path) {
+            ProfileReport rep = engine.profileSample(0, p.model);
+            if (writeProfileJson(rep, profile_path))
+                fprintf(stderr, "wrote profile report %s\n",
+                        profile_path);
+            else
+                fprintf(stderr, "profile export failed (%s)\n",
+                        profile_path);
+            fputs(rep.text().c_str(), stderr);
+        }
         if (&spec == &specs.back() && (trace_path || metrics_path)) {
             if (!exportServeTelemetry(detail,
                                       trace_path ? trace_path : "",
@@ -185,7 +199,8 @@ benchWorkload(JsonWriter &j, Workload w, int distinct, int queries,
 }
 
 int
-serveBenchMain(const char *trace_path, const char *metrics_path)
+serveBenchMain(const char *trace_path, const char *metrics_path,
+               const char *profile_path)
 {
     FILE *f = fopen("BENCH_serve.json", "w");
     if (!f) {
@@ -202,7 +217,8 @@ serveBenchMain(const char *trace_path, const char *metrics_path)
     benchWorkload(j, Workload::MobileNetV1, /*distinct=*/4,
                   /*queries=*/256,
                   {{1, 1}, {4, 1}, {7, 1}, {7, 2}},
-                  /*max_devices=*/2, trace_path, metrics_path);
+                  /*max_devices=*/2, trace_path, metrics_path,
+                  profile_path);
     if (!getenv("NCORE_BENCH_SERVE_QUICK"))
         benchWorkload(j, Workload::ResNet50, /*distinct=*/2,
                       /*queries=*/64, {{1, 1}, {3, 1}},
@@ -224,18 +240,22 @@ main(int argc, char **argv)
 {
     const char *trace = nullptr;
     const char *metrics = nullptr;
+    const char *profile = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (!strncmp(argv[i], "--trace=", 8))
             trace = argv[i] + 8;
         else if (!strncmp(argv[i], "--metrics=", 10))
             metrics = argv[i] + 10;
+        else if (!strncmp(argv[i], "--profile=", 10))
+            profile = argv[i] + 10;
         else {
             fprintf(stderr,
                     "usage: %s [--trace=<trace.json>] "
-                    "[--metrics=<metrics.txt>]\n",
+                    "[--metrics=<metrics.txt>] "
+                    "[--profile=<profile.json>]\n",
                     argv[0]);
             return 2;
         }
     }
-    return ncore::serveBenchMain(trace, metrics);
+    return ncore::serveBenchMain(trace, metrics, profile);
 }

@@ -6,14 +6,15 @@
  * trace a real workload layer by layer without perturbing execution.
  *
  * Runs MobileNet-V1 on the simulated device and prints the per-layer
- * event trace, per-layer cycle/MAC attribution, a perf-counter summary
+ * event trace, the microarchitectural profiler's per-layer roofline
+ * report (telemetry/profile.h — exclusive stall buckets, VLIW slot
+ * occupancy, achieved-vs-peak MAC utilization), a perf-counter summary
  * and an n-step inspection of the machine mid-run.
  *
  * Run: ./build/examples/debug_trace
  */
 
 #include <cstdio>
-#include <map>
 #include <vector>
 
 #include "gcl/compiler.h"
@@ -46,59 +47,52 @@ main()
     Rng rng(99);
     image.fillRandom(rng);
 
+    // The microarchitectural cycle profiler accounts every device
+    // cycle into exclusive buckets and snapshots its counters at the
+    // compiler's layer events, so per-layer attribution comes from
+    // the device itself — no hand-rolled event-pair bookkeeping.
+    CycleProfile prof;
+    rt.machine().setProfile(&prof);
+
     std::printf("running one inference (cycle-accurate)...\n\n");
     InvokeStats stats;
     rt.invoke(0, {image}, &stats);
+    rt.machine().setProfile(nullptr);
 
     // ---- The Fig. 10-style event trace -----------------------------
     std::printf("Ncore debug trace (event log, %zu events):\n",
                 stats.events.size());
     std::printf("  %-10s %-9s %s\n", "cycle", "event", "layer");
-    std::map<int, uint64_t> start;
-    struct LayerTime
-    {
-        uint64_t cycles = 0;
-    };
-    std::map<int, LayerTime> per_layer;
     int shown = 0;
     for (const NcoreEvent &e : stats.events) {
+        if (shown >= 12)
+            break;
         if (e.tag == CompiledSubgraph::kStartTag ||
             e.tag == CompiledSubgraph::kEndTag) {
             std::printf("  %-10llu %-9s (subgraph)\n",
                         (unsigned long long)e.cycle,
                         e.tag == CompiledSubgraph::kStartTag ? "begin"
                                                              : "end");
+            ++shown;
             continue;
         }
         int id = int(e.tag >> 2);
         int phase = int(e.tag & 3);
-        if (phase == 1)
-            start[id] = e.cycle;
-        if (phase == 2 && start.count(id))
-            per_layer[id].cycles += e.cycle - start[id];
-        if (shown < 12) {
-            std::printf("  %-10llu %-9s %s\n",
-                        (unsigned long long)e.cycle,
-                        phase == 1 ? "start" : "end",
-                        ld.graph.nodes()[size_t(id)].name.c_str());
-            ++shown;
-        }
+        std::printf("  %-10llu %-9s %s\n",
+                    (unsigned long long)e.cycle,
+                    phase == 1 ? "start"
+                               : (phase == 2 ? "end" : "band"),
+                    ld.graph.nodes()[size_t(id)].name.c_str());
+        ++shown;
     }
     std::printf("  ... (%zu more events)\n\n",
                 stats.events.size() - size_t(shown));
 
-    // ---- Per-layer attribution (Table IX methodology) ---------------
-    std::printf("top-10 layers by Ncore cycles:\n");
-    std::vector<std::pair<uint64_t, int>> ranked;
-    for (auto &kv : per_layer)
-        ranked.push_back({kv.second.cycles, kv.first});
-    std::sort(ranked.rbegin(), ranked.rend());
-    for (size_t i = 0; i < ranked.size() && i < 10; ++i) {
-        const Node &n = ld.graph.nodes()[size_t(ranked[i].second)];
-        std::printf("  %8llu cyc  %-16s %s\n",
-                    (unsigned long long)ranked[i].first,
-                    opKindName(n.kind), n.name.c_str());
-    }
+    // ---- The profiler's per-layer roofline report -------------------
+    ProfileReport report = buildProfileReport(
+        prof, &ld.graph, "mobilenet_v1",
+        rt.machine().config().clockHz);
+    std::fputs(report.text().c_str(), stdout);
 
     // ---- Performance counters ---------------------------------------
     const PerfCounters &perf = rt.machine().perf();

@@ -1054,6 +1054,7 @@ class SubgraphCompiler
                  "banded staging with streamed weights unsupported");
         InputBandPlan plan;
         plan.tensor = bandTensor_;
+        plan.nodeId = id;
 
         ConvKernel proto = makeConvKernel(n, id);
         const int h_o = proto.out.h;

@@ -23,6 +23,7 @@
 #include "nkl/kernels.h"
 #include "nkl/layout.h"
 #include "soc/sysmem.h"
+#include "telemetry/profile.h"
 
 namespace ncore {
 
@@ -43,6 +44,9 @@ struct StreamChunk
 struct InputBandPlan
 {
     TensorId tensor = kNoTensor;
+    /// The graph node the band programs execute (the banded stem
+    /// conv); the runtime uses it to attribute band-program cycles.
+    int nodeId = -1;
     std::vector<TensorLayout> bandLayouts;
     std::vector<std::vector<EncodedInstruction>> bandCode;
 };
@@ -86,9 +90,11 @@ struct CompiledSubgraph
     int weightRowsUsed = 0;
 
     /// Event-log tags: per layer, (nodeId << 2) | 1 at start, | 2 at
-    /// end; subgraph start/end use kStartTag / kEndTag.
-    static constexpr uint32_t kStartTag = 0xffff1;
-    static constexpr uint32_t kEndTag = 0xffff2;
+    /// end, | 3 at band-continuation starts; subgraph start/end use
+    /// kStartTag / kEndTag (aliases of the profiler's canonical
+    /// values so CycleProfile reports decode loadable event streams).
+    static constexpr uint32_t kStartTag = kProfileSubgraphStart;
+    static constexpr uint32_t kEndTag = kProfileSubgraphEnd;
 };
 
 /** Everything the runtime needs to execute one model. */

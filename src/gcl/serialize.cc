@@ -8,7 +8,7 @@ namespace ncore {
 namespace {
 
 constexpr uint32_t kMagic = 0x4e434c44; // "NCLD"
-constexpr uint32_t kVersion = 3;
+constexpr uint32_t kVersion = 4;
 
 class Writer
 {
@@ -332,6 +332,7 @@ serializeLoadable(const Loadable &ld)
         w.u32(uint32_t(sg.inputBands.size()));
         for (const InputBandPlan &bp : sg.inputBands) {
             w.i32(bp.tensor);
+            w.i32(bp.nodeId);
             w.u32(uint32_t(bp.bandLayouts.size()));
             for (size_t b = 0; b < bp.bandLayouts.size(); ++b) {
                 putLayout(w, bp.bandLayouts[b]);
@@ -487,6 +488,7 @@ deserializeLoadable(const std::vector<uint8_t> &bytes)
         for (uint32_t i = 0; i < n; ++i) {
             InputBandPlan bp;
             bp.tensor = r.i32();
+            bp.nodeId = r.i32();
             uint32_t bands = r.u32();
             for (uint32_t b = 0; b < bands; ++b) {
                 bp.bandLayouts.push_back(getLayout(r));

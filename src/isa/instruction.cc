@@ -99,6 +99,22 @@ ctrlOpName(CtrlOp o)
     return "?";
 }
 
+const char *
+issueSlotName(IssueSlot s)
+{
+    switch (s) {
+      case IssueSlot::Ctrl: return "ctrl";
+      case IssueSlot::DataRead: return "data_read";
+      case IssueSlot::WeightRead: return "weight_read";
+      case IssueSlot::Ndu0: return "ndu0";
+      case IssueSlot::Ndu1: return "ndu1";
+      case IssueSlot::Npu: return "npu";
+      case IssueSlot::Out: return "out";
+      case IssueSlot::Write: return "write";
+    }
+    return "?";
+}
+
 std::string
 Instruction::toString() const
 {

@@ -249,6 +249,56 @@ const char *npuOpName(NpuOp o);
 const char *outOpName(OutOp o);
 const char *ctrlOpName(CtrlOp o);
 
+// --- VLIW slot introspection (occupancy accounting, disassembly) ----
+
+/** The eight issue slots of one VLIW instruction, in field order. */
+enum class IssueSlot : uint8_t {
+    Ctrl = 0,
+    DataRead,
+    WeightRead,
+    Ndu0,
+    Ndu1,
+    Npu,
+    Out,
+    Write,
+};
+inline constexpr int kIssueSlots = 8;
+
+/** Snake-case slot name ("ctrl", "data_read", ...). */
+const char *issueSlotName(IssueSlot s);
+
+/** Bitmask of populated (non-NOP) slots; bit i == IssueSlot(i). */
+constexpr uint32_t
+populatedSlots(const Instruction &in)
+{
+    uint32_t m = 0;
+    if (in.ctrl.op != CtrlOp::None)
+        m |= 1u << int(IssueSlot::Ctrl);
+    if (in.dataRead.enable)
+        m |= 1u << int(IssueSlot::DataRead);
+    if (in.weightRead.enable)
+        m |= 1u << int(IssueSlot::WeightRead);
+    if (in.ndu0.op != NduOp::None)
+        m |= 1u << int(IssueSlot::Ndu0);
+    if (in.ndu1.op != NduOp::None)
+        m |= 1u << int(IssueSlot::Ndu1);
+    if (in.npu.op != NpuOp::None)
+        m |= 1u << int(IssueSlot::Npu);
+    if (in.out.op != OutOp::None)
+        m |= 1u << int(IssueSlot::Out);
+    if (in.write.enable)
+        m |= 1u << int(IssueSlot::Write);
+    return m;
+}
+
+/** True when no body slot does any work (sequencer-only instruction:
+ *  every cycle it costs is control/loop overhead, not issue). */
+constexpr bool
+bodyEmpty(const Instruction &in)
+{
+    return (populatedSlots(in) & ~(1u << int(IssueSlot::Ctrl))) == 0;
+}
+
 } // namespace ncore
 
 #endif // NCORE_ISA_INSTRUCTION_H

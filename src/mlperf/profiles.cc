@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -216,6 +217,18 @@ profileGnmt()
     return p;
 }
 
+/** Build the gir graph of a CNN workload (panics for GNMT). */
+Graph
+buildCnnGraph(Workload w)
+{
+    switch (w) {
+      case Workload::MobileNetV1: return buildMobileNetV1();
+      case Workload::ResNet50: return buildResNet50V15();
+      case Workload::SsdMobileNet: return buildSsdMobileNetV1();
+      default: panic("not a CNN workload");
+    }
+}
+
 } // namespace
 
 const char *
@@ -230,11 +243,32 @@ workloadName(Workload w)
     return "?";
 }
 
+const char *
+workloadCacheKey(Workload w)
+{
+    return cacheKey(w);
+}
+
+std::string
+defaultProfileCachePath()
+{
+    if (const char *env = std::getenv("NCORE_PROFILE_CACHE"))
+        if (*env)
+            return env;
+#ifdef NCORE_PROFILE_CACHE_DEFAULT
+    return NCORE_PROFILE_CACHE_DEFAULT;
+#else
+    return "ncore_profiles.cache";
+#endif
+}
+
 WorkloadProfile
 measureWorkload(Workload w, bool force, const std::string &cache_path)
 {
+    const std::string path =
+        cache_path.empty() ? defaultProfileCachePath() : cache_path;
     if (!force) {
-        auto cached = readCache(cache_path, w);
+        auto cached = readCache(path, w);
         if (cached)
             return *cached;
     }
@@ -243,13 +277,15 @@ measureWorkload(Workload w, bool force, const std::string &cache_path)
            workloadName(w));
     WorkloadProfile p =
         w == Workload::Gnmt ? profileGnmt() : profileCnn(w);
-    appendCache(cache_path, p);
+    appendCache(path, p);
     return p;
 }
 
 std::vector<WorkloadProfile>
 measureAllWorkloads(const std::string &cache_path, bool force)
 {
+    const std::string path =
+        cache_path.empty() ? defaultProfileCachePath() : cache_path;
     constexpr Workload kAll[] = {Workload::MobileNetV1,
                                  Workload::ResNet50,
                                  Workload::SsdMobileNet, Workload::Gnmt};
@@ -260,7 +296,7 @@ measureAllWorkloads(const std::string &cache_path, bool force)
     // Serve cache hits serially: the cache is a plain text file.
     if (!force)
         for (int i = 0; i < kCount; ++i)
-            results[i] = readCache(cache_path, kAll[i]);
+            results[i] = readCache(path, kAll[i]);
 
     // Simulate the misses concurrently. Each profile run builds its own
     // model, compiler invocation and simulator Machine, so the threads
@@ -284,13 +320,61 @@ measureAllWorkloads(const std::string &cache_path, bool force)
     // Append freshly measured profiles in workload order.
     for (int i = 0; i < kCount; ++i)
         if (measured[i])
-            appendCache(cache_path, *results[i]);
+            appendCache(path, *results[i]);
 
     std::vector<WorkloadProfile> out;
     out.reserve(kCount);
     for (int i = 0; i < kCount; ++i)
         out.push_back(*results[i]);
     return out;
+}
+
+ProfileReport
+profileWorkloadReport(Workload w, ExecEngine engine)
+{
+    Machine::Options opts;
+    opts.execEngine = engine;
+
+    if (w == Workload::Gnmt) {
+        // No gir graph: the per-matmul host marks inside
+        // Gnmt::matmulOnNcore provide the scopes.
+        Gnmt gnmt;
+        Machine machine(chaNcoreConfig(), chaSocConfig(), nullptr,
+                        false, opts);
+        CycleProfile prof;
+        machine.setProfile(&prof);
+        gnmt.runOnNcore(machine, 6, 6);
+        machine.setProfile(nullptr);
+        return buildProfileReport(prof, nullptr, cacheKey(w),
+                                  machine.config().clockHz);
+    }
+
+    Loadable ld = compile(buildCnnGraph(w));
+
+    Machine machine(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                    opts);
+    NcoreDriver driver(machine);
+    driver.powerUp();
+    fatal_if(!driver.selfTest(), "Ncore self-test failed");
+    NcoreRuntime rt(driver);
+    rt.loadModel(ld);
+
+    Tensor x(ld.graph.tensor(ld.graph.inputs()[0]).shape, DType::UInt8,
+             ld.graph.tensor(ld.graph.inputs()[0]).quant);
+    Rng rng(2020);
+    x.fillRandom(rng);
+
+    X86CostModel cost;
+    DelegateExecutor exec(rt, cost);
+
+    // Attach after power-up/load so the profile covers exactly the
+    // inference (self-test and image loads are host/DMA work).
+    CycleProfile prof;
+    machine.setProfile(&prof);
+    exec.infer({x});
+    machine.setProfile(nullptr);
+    return buildProfileReport(prof, &ld.graph, cacheKey(w),
+                              machine.config().clockHz);
 }
 
 } // namespace ncore

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "mlperf/pipeline.h"
+#include "ncore/machine.h"
+#include "telemetry/profile.h"
 
 namespace ncore {
 
@@ -36,15 +38,27 @@ enum class Workload { MobileNetV1, ResNet50, SsdMobileNet, Gnmt };
 
 const char *workloadName(Workload w);
 
+/** Cache-key model name of a workload ("mobilenet_v1", ...). */
+const char *workloadCacheKey(Workload w);
+
+/**
+ * Where the on-disk profile cache lives when the caller does not pick
+ * a path: $NCORE_PROFILE_CACHE if set, else
+ * `<build dir>/ncore_profiles.cache` (compiled in at configure time),
+ * else `ncore_profiles.cache` in the working directory. Keeping the
+ * default under the build directory stops the cache from polluting
+ * `git status` of every checkout.
+ */
+std::string defaultProfileCachePath();
+
 /**
  * Measure (or load from cache) the profile of one workload. Set
  * `force` to re-simulate even with a cache hit. The cache lives in
- * `cache_path` ("ncore_profiles.cache" in the working directory by
- * default) so the table/figure benches share one simulation.
+ * `cache_path` (defaultProfileCachePath() when empty) so the
+ * table/figure benches share one simulation.
  */
-WorkloadProfile measureWorkload(
-    Workload w, bool force = false,
-    const std::string &cache_path = "ncore_profiles.cache");
+WorkloadProfile measureWorkload(Workload w, bool force = false,
+                                const std::string &cache_path = "");
 
 /**
  * All four profiles in Table V order. Cache hits are served serially;
@@ -53,8 +67,19 @@ WorkloadProfile measureWorkload(
  * `force` to re-simulate everything.
  */
 std::vector<WorkloadProfile> measureAllWorkloads(
-    const std::string &cache_path = "ncore_profiles.cache",
-    bool force = false);
+    const std::string &cache_path = "", bool force = false);
+
+/**
+ * Run one cycle-exact inference of `w` with the microarchitectural
+ * profiler attached and return the per-layer roofline report
+ * (telemetry/profile.h): cycle budget, stall breakdown, achieved MAC
+ * utilization and bytes moved per graph op. CNNs profile through the
+ * full compile/runtime stack (layer attribution joins the compiler's
+ * event tags back to gir nodes); GNMT runs its per-matmul programs
+ * under host marks. Never cached: always simulates.
+ */
+ProfileReport profileWorkloadReport(
+    Workload w, ExecEngine engine = ExecEngine::Default);
 
 } // namespace ncore
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "nkl/kernels.h"
 #include "nkl/layout.h"
@@ -388,10 +389,16 @@ Gnmt::matmulOnNcore(Machine &m, const Tensor &w,
     };
     fill(0);
     fill(1);
+    // Host profile bracket: GNMT has no gir graph, so each matmul
+    // program names its own scope by shape ("matmul_1024x4096").
+    char mark[32];
+    snprintf(mark, sizeof mark, "matmul_%dx%d", k_total, n_total);
+    m.profileMark(mark, true);
     m.setBankFreeCallback([&](int freed) { fill(freed); });
     m.start(0);
     RunResult res = m.run();
     m.setBankFreeCallback(nullptr);
+    m.profileMark(mark, false);
     fatal_if(res.reason != StopReason::Halted, "GNMT matmul hung");
 
     // Read the result.

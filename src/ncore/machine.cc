@@ -82,6 +82,8 @@ Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
     dma_ = std::make_unique<DmaEngine>(soc, sysmem_, this);
 
     loadRom();
+    if (opts.profile)
+        setProfile(opts.profile);
 }
 
 Machine::~Machine() = default;
@@ -140,6 +142,34 @@ Machine::publishStats(Stats &into) const
     into.add(stats::kEccCorrectedWeight, weightRam_.eccStats().corrected);
     into.add(stats::kEccUncorrectableWeight,
              weightRam_.eccStats().uncorrectable);
+
+    if (prof_) {
+        // Keep the profiler's DMA byte view current before exposing
+        // it (counters otherwise sync only at marks and detach).
+        prof_->syncDma(d.bytesRead, d.bytesWritten);
+        prof_->publish(into);
+    }
+}
+
+void
+Machine::setProfile(CycleProfile *p)
+{
+    const DmaStats &d = dma_->stats();
+    if (prof_ && prof_ != p)
+        prof_->syncDma(d.bytesRead, d.bytesWritten); // Finalize.
+    prof_ = p;
+    if (prof_)
+        prof_->attach(rowBytes_, d.bytesRead, d.bytesWritten);
+}
+
+void
+Machine::profileMark(const char *name, bool begin, int node_id)
+{
+    if (!prof_)
+        return;
+    const DmaStats &d = dma_->stats();
+    prof_->hostMark(name, begin, node_id, perf_.cycles, d.bytesRead,
+                    d.bytesWritten);
 }
 
 PlanBindings
@@ -344,6 +374,7 @@ Machine::step()
 
     uint64_t cost = 0;
     uint64_t reps = 1;
+    uint64_t fence_stall = 0;
     bool halted = false;
     bool looped_back = false;
 
@@ -391,12 +422,17 @@ Machine::step()
         if (sink_ && cost > stall0)
             sink_->onSpan("dma_fence_stall", perf_.cycles + stall0,
                           perf_.cycles + cost);
+        fence_stall = cost - stall0;
         break;
       }
       case CtrlOp::Event:
         eventLog_.record(perf_.cycles, in.ctrl.imm);
         if (sink_)
             sink_->onInstant("event", perf_.cycles, in.ctrl.imm);
+        if (prof_)
+            prof_->eventMark(in.ctrl.imm, perf_.cycles,
+                             dma_->stats().bytesRead,
+                             dma_->stats().bytesWritten);
         break;
       case CtrlOp::Halt:
         halted = true;
@@ -460,6 +496,13 @@ Machine::step()
     } else if (!looped_back) {
         advancePcWithCallback();
     }
+
+    // Cycle-exact attribution: cost == fence_stall + reps * body_cost
+    // by construction, so the profiler's buckets sum to total cycles,
+    // and the hook sits in the one step() both engines share, so the
+    // accounting is bit-identical across engines.
+    if (prof_)
+        prof_->onStep(in, reps, body_cost, fence_stall);
 
     perf_.cycles += cost;
     return cost;

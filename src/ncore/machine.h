@@ -44,6 +44,7 @@
 #include "ncore/ram.h"
 #include "soc/dma.h"
 #include "soc/sysmem.h"
+#include "telemetry/profile.h"
 #include "telemetry/stats.h"
 #include "telemetry/trace.h"
 
@@ -72,6 +73,10 @@ struct MachineOptions
     /// simulator then does no telemetry work at all). Not owned;
     /// must outlive the Machine.
     TraceSink *traceSink = nullptr;
+    /// Microarchitectural cycle profiler (telemetry/profile.h);
+    /// nullptr = no profiling work at all. Not owned; may also be
+    /// attached/detached later via setProfile().
+    CycleProfile *profile = nullptr;
 };
 
 /** Result of Machine::run(). */
@@ -214,6 +219,26 @@ class Machine : public RamRowPort
     /** The telemetry sink installed at construction (may be null). */
     TraceSink *traceSink() const { return sink_; }
 
+    // --- Microarchitectural profiling (telemetry/profile.h) -------------
+
+    /**
+     * Attach (or, with nullptr, detach) the cycle-exact profiler.
+     * Every subsequent device cycle is accounted into its exclusive
+     * buckets; detaching finalizes the DMA byte totals. Zero cost
+     * when detached (one branch per retired instruction).
+     */
+    void setProfile(CycleProfile *p);
+    CycleProfile *profile() const { return prof_; }
+
+    /**
+     * Host-side attribution mark: opens (`begin`) or closes a named
+     * scope in the attached profile at the current cycle. `node_id`
+     * optionally ties the scope to a gir node so the report merges it
+     * with that node's device-event scopes. No-op when no profile is
+     * attached.
+     */
+    void profileMark(const char *name, bool begin, int node_id = -1);
+
     // --- Architectural state peeks (differential testing / debug) --------
 
     const std::vector<int32_t> &accState() const { return acc_; }
@@ -315,6 +340,7 @@ class Machine : public RamRowPort
     bool running_ = false;
     bool fastExec_ = true; ///< Specialized engine (vs generic interpreter).
     TraceSink *sink_ = nullptr; ///< Cycle-domain telemetry (not owned).
+    CycleProfile *prof_ = nullptr; ///< Cycle profiler (not owned).
     /// Thread that called start(); run() asserts single-thread
     /// affinity per program launch (see run()).
     std::thread::id ownerThread_;

@@ -233,11 +233,27 @@ NcoreRuntime::invoke(int subgraph_index, const std::vector<Tensor> &inputs,
                 machine_->hostWriteRow(false, lay.baseRow + r,
                                        packBuf_.data() +
                                            size_t(r) * 4096);
+            // Profile attribution bracket: band programs carry the
+            // banded node's own layer events, but their halt (and any
+            // leading cycles) would otherwise fall outside every
+            // scope; the host mark charges them to the same node.
+            const char *band_name =
+                bp.nodeId >= 0
+                    ? model_->graph.nodes()[size_t(bp.nodeId)]
+                          .name.c_str()
+                    : "(band_program)";
+            machine_->profileMark(band_name, true, bp.nodeId);
             runProgram(pc.bandSegments[bi][b], "band_program", st, t0);
+            machine_->profileMark(band_name, false, bp.nodeId);
         }
     }
 
+    // The "(subgraph)" bracket mirrors the program's kStartTag/kEndTag
+    // events and additionally covers the end-event and halt cycles, so
+    // a profiled invoke attributes 100% of device cycles.
+    machine_->profileMark("(subgraph)", true);
     runProgram(pc.codeSegments, "program", st, t0);
+    machine_->profileMark("(subgraph)", false);
 
     // Unpack outputs (the buffer is fully overwritten by the row
     // reads, so no re-zeroing is needed here).

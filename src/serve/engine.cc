@@ -78,6 +78,21 @@ ServeEngine::sharedModelBytes() const
     return bytes;
 }
 
+ProfileReport
+ServeEngine::profileSample(int sample, const std::string &model_name)
+{
+    fatal_if(sample < 0 || size_t(sample) >= samples_.size(),
+             "profileSample: sample %d out of range (%zu samples)",
+             sample, samples_.size());
+    DeviceContext &dev = *contexts_.front();
+    CycleProfile prof;
+    dev.machine.setProfile(&prof);
+    dev.exec->infer(samples_[size_t(sample)]);
+    dev.machine.setProfile(nullptr);
+    return buildProfileReport(prof, &model_->loadable().graph,
+                              model_name, dev.machine.config().clockHz);
+}
+
 // --------------------------------------------------------------------
 // Run plan: arrival schedule + deterministic batch plan
 // --------------------------------------------------------------------
@@ -501,6 +516,25 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
     result.stats.set(stats::latencyQuantile("0.5"), result.p50);
     result.stats.set(stats::latencyQuantile("0.9"), result.p90);
     result.stats.set(stats::latencyQuantile("0.99"), result.p99);
+
+    // Per-query latency histogram (Prometheus histogram series). All
+    // fixed buckets are seeded at 0 so the exported snapshot has a
+    // byte-stable shape regardless of the latency distribution.
+    for (double ub : stats::serveLatencyBounds())
+        result.stats.add(
+            stats::histogramBucketName(stats::kServeQueryLatency, ub),
+            0.0);
+    result.stats.add(stats::histogramBucketName(
+                         stats::kServeQueryLatency, INFINITY),
+                     0.0);
+    result.stats.add(std::string(stats::kServeQueryLatency) + "_sum",
+                     0.0);
+    result.stats.add(std::string(stats::kServeQueryLatency) + "_count",
+                     0.0);
+    for (const QueryRecord &rec : result.records)
+        stats::observeHistogram(result.stats, stats::kServeQueryLatency,
+                                stats::serveLatencyBounds(),
+                                rec.latency());
 
     // Per-device busy seconds from the replay's batch windows.
     std::vector<double> devBusy(size_t(cfg.devices), 0.0);

@@ -177,6 +177,16 @@ class ServeEngine
     /** Execute `queries` queries under `cfg`. */
     ServeResult run(const ServeConfig &cfg, int queries);
 
+    /**
+     * Execute one distinct sample on device 0 with the cycle-exact
+     * microarchitectural profiler attached and return the per-layer
+     * roofline report (telemetry/profile.h). Runs outside the
+     * pipeline and does not touch the memo cache; must not be called
+     * concurrently with run().
+     */
+    ProfileReport profileSample(int sample = 0,
+                                const std::string &model_name = "model");
+
     int maxDevices() const { return int(contexts_.size()); }
     const LoadedModel &model() const { return *model_; }
 

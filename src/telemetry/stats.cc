@@ -33,6 +33,39 @@ deviceBusyCounter(int device)
     return buf;
 }
 
+std::string
+histogramBucketName(const char *family, double ub)
+{
+    char buf[96];
+    if (std::isinf(ub))
+        snprintf(buf, sizeof buf, "%s_bucket{le=\"+Inf\"}", family);
+    else
+        snprintf(buf, sizeof buf, "%s_bucket{le=\"%.9g\"}", family, ub);
+    return buf;
+}
+
+const std::vector<double> &
+serveLatencyBounds()
+{
+    static const std::vector<double> bounds = {
+        0.0005, 0.001, 0.0025, 0.005, 0.01,  0.025,
+        0.05,   0.1,   0.25,   0.5,   1.0,   2.5,
+    };
+    return bounds;
+}
+
+void
+observeHistogram(Stats &s, const char *family,
+                 const std::vector<double> &bounds, double value)
+{
+    for (double ub : bounds)
+        if (value <= ub)
+            s.add(histogramBucketName(family, ub), 1.0);
+    s.add(histogramBucketName(family, INFINITY), 1.0);
+    s.add(std::string(family) + "_sum", value);
+    s.add(std::string(family) + "_count", 1.0);
+}
+
 } // namespace stats
 
 namespace {
@@ -74,12 +107,26 @@ prometheusText(const Stats &s)
 {
     std::string out;
     std::string lastFamily;
+    std::string histBase; // Base of the last histogram family seen.
     for (const auto &[name, v] : s.entries()) {
         std::string family = familyOf(name);
         if (family != lastFamily) {
-            out += "# TYPE ";
-            out += family;
-            out += endsWith(family, "_total") ? " counter\n" : " gauge\n";
+            if (endsWith(family, "_bucket")) {
+                histBase = family.substr(0, family.size() - 7);
+                out += "# TYPE ";
+                out += histBase;
+                out += " histogram\n";
+            } else if (!histBase.empty() &&
+                       (family == histBase + "_sum" ||
+                        family == histBase + "_count")) {
+                // The histogram's _sum/_count series: same family,
+                // TYPE already declared by the _bucket lines.
+            } else {
+                out += "# TYPE ";
+                out += family;
+                out += endsWith(family, "_total") ? " counter\n"
+                                                  : " gauge\n";
+            }
             lastFamily = family;
         }
         char buf[64];

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ncore {
 
@@ -140,6 +141,11 @@ inline constexpr const char *kServeQueueDepthPeak = "serve_queue_depth_peak";
 inline constexpr const char *kServeMakespan = "serve_makespan_seconds";
 inline constexpr const char *kServeIps = "serve_ips";
 
+/// Per-query latency histogram family (Prometheus histogram:
+/// cumulative `_bucket{le=...}` series plus `_sum` and `_count`).
+inline constexpr const char *kServeQueryLatency =
+    "serve_query_latency_seconds";
+
 /** `serve_batch_size_total{size="k"}` occupancy-histogram bucket. */
 std::string batchSizeCounter(int size);
 /** `serve_latency_seconds{quantile="0.99"}` summary gauge. */
@@ -147,14 +153,35 @@ std::string latencyQuantile(const char *q);
 /** `serve_device_busy_seconds_total{device="d"}`. */
 std::string deviceBusyCounter(int device);
 
+/** `<family>_bucket{le="0.005"}`; pass INFINITY for `le="+Inf"`. */
+std::string histogramBucketName(const char *family, double ub);
+
+/** The fixed serve-latency bucket upper bounds, in seconds (0.5 ms
+ *  to 2.5 s; +Inf is implicit). Fixed so snapshots from different
+ *  runs and configurations are directly comparable. */
+const std::vector<double> &serveLatencyBounds();
+
+/**
+ * Observe one value into a fixed-bucket cumulative histogram:
+ * increments every `<family>_bucket{le=...}` whose bound admits
+ * `value` plus the implicit `+Inf` bucket, `<family>_sum` by `value`
+ * and `<family>_count` by one. Seed the bucket names at 0 first if a
+ * byte-stable snapshot must include empty buckets.
+ */
+void observeHistogram(Stats &s, const char *family,
+                      const std::vector<double> &bounds, double value);
+
 } // namespace stats
 
 /**
  * Prometheus text exposition format (version 0.0.4). Counters
- * (`*_total`) get `# TYPE <family> counter`, everything else
- * `# TYPE <family> gauge`; families are emitted once, in
- * lexicographic order of the full metric name. Integral values are
- * printed as integers so snapshots are byte-stable.
+ * (`*_total`) get `# TYPE <family> counter`; `*_bucket` families get
+ * `# TYPE <base> histogram` (the matching `<base>_sum`/`<base>_count`
+ * series belong to that family, so their own TYPE lines are
+ * suppressed); everything else `# TYPE <family> gauge`. Families are
+ * emitted once, in lexicographic order of the full metric name.
+ * Integral values are printed as integers so snapshots are
+ * byte-stable.
  */
 std::string prometheusText(const Stats &s);
 
