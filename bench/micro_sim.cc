@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "mlperf/profiles.h"
 #include "ncore/machine.h"
+#include "ncore/simd.h"
 
 namespace ncore {
 namespace {
@@ -126,11 +127,16 @@ fillPredRow(Machine &m)
     m.hostWriteRow(false, 0, row.data());
 }
 
-/** Simulated MAC cycles per wall second (the DV-throughput metric). */
+/** Simulated MAC cycles per wall second (the DV-throughput metric).
+ *  `tier` selects the specialized engine's kernel tier (Auto = the
+ *  shipping config: NCORE_SIMD env or the host's best). */
 void
-runMacPipeline(benchmark::State &state, LaneType type, Pred pred)
+runMacPipeline(benchmark::State &state, LaneType type, Pred pred,
+               SimdTier tier = SimdTier::Auto)
 {
-    Machine m(chaNcoreConfig(), chaSocConfig());
+    Machine m(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+              {ExecEngine::Default, nullptr, nullptr, tier});
+    state.SetLabel(m.execDescription());
     if (pred != Pred::None)
         fillPredRow(m);
     std::vector<EncodedInstruction> enc = macProgram(type, pred);
@@ -175,6 +181,37 @@ BM_MacPipelinePred(benchmark::State &state)
     runMacPipeline(state, LaneType::U8, Pred::P0);
 }
 BENCHMARK(BM_MacPipelinePred)->Unit(benchmark::kMillisecond);
+
+// Scalar-kernel-tier rows of the same variants, so one run shows the
+// SIMD datapath speedup directly (the unsuffixed rows use the host's
+// best tier via SimdTier::Auto).
+void
+BM_MacPipelineScalar(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::U8, Pred::None, SimdTier::Scalar);
+}
+BENCHMARK(BM_MacPipelineScalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelineBf16Scalar(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::BF16, Pred::None, SimdTier::Scalar);
+}
+BENCHMARK(BM_MacPipelineBf16Scalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelineI16Scalar(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::I16, Pred::None, SimdTier::Scalar);
+}
+BENCHMARK(BM_MacPipelineI16Scalar)->Unit(benchmark::kMillisecond);
+
+void
+BM_MacPipelinePredScalar(benchmark::State &state)
+{
+    runMacPipeline(state, LaneType::U8, Pred::P0, SimdTier::Scalar);
+}
+BENCHMARK(BM_MacPipelinePredScalar)->Unit(benchmark::kMillisecond);
 
 /** NDU rotate throughput (full 4 KB row per op). */
 void
@@ -226,16 +263,19 @@ BENCHMARK(BM_NduRotate)->Unit(benchmark::kMillisecond);
 struct MacMeasurement
 {
     const char *name;
+    const char *tier;
     double simCyclesPerSec = 0;
     double laneMacsPerSec = 0;
     double wallPerRun = 0;
 };
 
 MacMeasurement
-measureMacVariant(const char *name, LaneType type, Pred pred)
+measureMacVariant(const char *name, LaneType type, Pred pred,
+                  SimdTier tier)
 {
     using clock = std::chrono::steady_clock;
-    Machine m(chaNcoreConfig(), chaSocConfig());
+    Machine m(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+              {ExecEngine::Default, nullptr, nullptr, tier});
     if (pred != Pred::None)
         fillPredRow(m);
     std::vector<EncodedInstruction> enc = macProgram(type, pred);
@@ -260,6 +300,7 @@ measureMacVariant(const char *name, LaneType type, Pred pred)
 
     MacMeasurement r;
     r.name = name;
+    r.tier = simdTierName(m.simdTier());
     r.simCyclesPerSec = double(m.cycles() - cycles0) / wall;
     r.laneMacsPerSec = double(m.perf().macOps - macs0) / wall;
     r.wallPerRun = wall / iters;
@@ -277,19 +318,27 @@ writeBenchSimJson()
     JsonWriter j(f);
     j.beginObject();
     j.key("mac_pipeline").beginArray();
-    const MacMeasurement macs[] = {
-        measureMacVariant("u8", LaneType::U8, Pred::None),
-        measureMacVariant("u8_pred", LaneType::U8, Pred::P0),
-        measureMacVariant("i16", LaneType::I16, Pred::None),
-        measureMacVariant("bf16", LaneType::BF16, Pred::None),
-    };
-    for (const MacMeasurement &m : macs) {
-        j.beginObject();
-        j.field("name", m.name);
-        j.field("sim_cycles_per_s", m.simCyclesPerSec, "%.0f");
-        j.field("lane_macs_per_s", m.laneMacsPerSec, "%.0f");
-        j.field("wall_s_per_run", m.wallPerRun, "%.6f");
-        j.endObject();
+    // One row per (variant, kernel tier): scalar always, plus the
+    // host's best SIMD tier when it has one.
+    std::vector<SimdTier> tiers = {SimdTier::Scalar};
+    if (bestSimdTier() != SimdTier::Scalar)
+        tiers.push_back(bestSimdTier());
+    for (SimdTier tier : tiers) {
+        const MacMeasurement macs[] = {
+            measureMacVariant("u8", LaneType::U8, Pred::None, tier),
+            measureMacVariant("u8_pred", LaneType::U8, Pred::P0, tier),
+            measureMacVariant("i16", LaneType::I16, Pred::None, tier),
+            measureMacVariant("bf16", LaneType::BF16, Pred::None, tier),
+        };
+        for (const MacMeasurement &m : macs) {
+            j.beginObject();
+            j.field("name", m.name);
+            j.field("tier", m.tier);
+            j.field("sim_cycles_per_s", m.simCyclesPerSec, "%.0f");
+            j.field("lane_macs_per_s", m.laneMacsPerSec, "%.0f");
+            j.field("wall_s_per_run", m.wallPerRun, "%.6f");
+            j.endObject();
+        }
     }
     j.endArray();
     j.key("profiles").beginArray();

@@ -345,8 +345,10 @@ profileWorkloadReport(Workload w, ExecEngine engine)
         machine.setProfile(&prof);
         gnmt.runOnNcore(machine, 6, 6);
         machine.setProfile(nullptr);
-        return buildProfileReport(prof, nullptr, cacheKey(w),
-                                  machine.config().clockHz);
+        ProfileReport rep = buildProfileReport(
+            prof, nullptr, cacheKey(w), machine.config().clockHz);
+        rep.engine = machine.execDescription();
+        return rep;
     }
 
     Loadable ld = compile(buildCnnGraph(w));
@@ -373,8 +375,10 @@ profileWorkloadReport(Workload w, ExecEngine engine)
     machine.setProfile(&prof);
     exec.infer({x});
     machine.setProfile(nullptr);
-    return buildProfileReport(prof, &ld.graph, cacheKey(w),
-                              machine.config().clockHz);
+    ProfileReport rep = buildProfileReport(prof, &ld.graph, cacheKey(w),
+                                           machine.config().clockHz);
+    rep.engine = machine.execDescription();
+    return rep;
 }
 
 } // namespace ncore

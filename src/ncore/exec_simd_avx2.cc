@@ -1,0 +1,740 @@
+/**
+ * @file
+ * AVX2 lane kernels for the specialized execution engine.
+ *
+ * This TU is compiled with `-mavx2` (plus `-ffp-contract=off`, see
+ * below) via per-source CMake flags; nothing outside it may call into
+ * it except through the selector entry points, and those are only
+ * reached when bestSimdTier() proved the host supports AVX2. To keep
+ * AVX2 code from leaking into portable COMDAT sections, every helper
+ * here lives in an anonymous namespace and re-states the few scalar
+ * primitives it needs (satAdd32, lane widening, bf16 rules) instead
+ * of calling the inline functions from common/ headers.
+ *
+ * Bit-identity notes (the contract is: match the generic interpreter
+ * exactly, see DESIGN.md §5f):
+ *
+ *  - Integer lanes are at most 16 bits wide, so products fit int32
+ *    exactly and `_mm256_mullo_epi32` equals the scalar multiply.
+ *    The saturating accumulate is emulated with the sign-overflow
+ *    identity: overflow iff sign(a)==sign(b) && sign(a+b)!=sign(a).
+ *  - bf16 MAC is `fc + fa*fb` as two separate IEEE ops (mul then
+ *    add), NOT an FMA: when fa*fb underflows into the binary32
+ *    subnormal range the scalar engines round the product before
+ *    adding, and a fused multiply-add would not. For the same reason
+ *    this TU is compiled with -ffp-contract=off so the compiler
+ *    cannot fuse the scalar tail loops either.
+ *  - `_mm256_min_ps(a,b)`/`max_ps` return the *second* operand on
+ *    NaN and on ±0 ties, exactly like the `(a<b)?a:b` ternary that
+ *    std::min/std::max lower to — operand order below is chosen so
+ *    the second operand matches the scalar kernels' choice.
+ *  - Requant::apply divides by 2^31 with C++ truncation toward zero;
+ *    the vector form uses a 64-bit logical shift + sign fill (floor)
+ *    plus a +1 correction on negative non-exact quotients.
+ */
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "ncore/exec_specialized.h"
+
+namespace ncore {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Local scalar primitives (duplicated from common/ to avoid COMDAT
+// leakage; must match saturate.h / bf16.h bit for bit).
+// --------------------------------------------------------------------
+
+inline int32_t
+satAdd32s(int32_t a, int32_t b)
+{
+    int64_t s = int64_t(a) + int64_t(b);
+    if (s > INT32_MAX)
+        return INT32_MAX;
+    if (s < INT32_MIN)
+        return INT32_MIN;
+    return int32_t(s);
+}
+
+inline float
+canonNaN(float f)
+{
+    if (f != f) {
+        const uint32_t q = 0x7fc00000u;
+        float r;
+        __builtin_memcpy(&r, &q, 4);
+        return r;
+    }
+    return f;
+}
+
+inline float
+bf16Lane(const uint8_t *lo, const uint8_t *hi, int i)
+{
+    uint32_t u = (uint32_t(lo[i]) << 16) | (uint32_t(hi[i]) << 24);
+    float f;
+    __builtin_memcpy(&f, &u, 4);
+    return f;
+}
+
+template <LaneType T, bool ZOFF>
+inline int32_t
+widenS(const uint8_t *lo, const uint8_t *hi, int i, int32_t z)
+{
+    if constexpr (T == LaneType::I8) {
+        return int8_t(lo[i]);
+    } else if constexpr (T == LaneType::U8) {
+        if constexpr (ZOFF)
+            return int32_t(lo[i]) - z;
+        else
+            return int32_t(lo[i]);
+    } else {
+        return int16_t(uint16_t(lo[i]) | (uint16_t(hi[i]) << 8));
+    }
+}
+
+template <Pred P>
+inline bool
+passS(const ExecCtx &c, int i)
+{
+    if constexpr (P == Pred::None)
+        return true;
+    else if constexpr (P == Pred::P0)
+        return c.pred0[i] != 0;
+    else if constexpr (P == Pred::P1)
+        return c.pred1[i] != 0;
+    else
+        return c.pred0[i] == 0;
+}
+
+// --------------------------------------------------------------------
+// Vector helpers (8 x int32 lanes per step).
+// --------------------------------------------------------------------
+
+inline __m256i
+load8u(const uint8_t *p)
+{
+    return _mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p)));
+}
+
+inline __m256i
+load8s(const uint8_t *p)
+{
+    return _mm256_cvtepi8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i *>(p)));
+}
+
+template <LaneType T, bool ZOFF>
+inline __m256i
+widenV(const uint8_t *lo, const uint8_t *hi, int i, __m256i z)
+{
+    if constexpr (T == LaneType::I8) {
+        (void)hi, (void)z;
+        return load8s(lo + i);
+    } else if constexpr (T == LaneType::U8) {
+        (void)hi;
+        __m256i v = load8u(lo + i);
+        if constexpr (ZOFF)
+            v = _mm256_sub_epi32(v, z);
+        return v;
+    } else {
+        (void)z;
+        return _mm256_or_si256(_mm256_slli_epi32(load8s(hi + i), 8),
+                               load8u(lo + i));
+    }
+}
+
+/** All-ones dword lanes where the predicate admits the lane. */
+template <Pred P>
+inline __m256i
+passV(const ExecCtx &c, int i)
+{
+    static_assert(P != Pred::None);
+    const uint8_t *p = P == Pred::P1 ? c.pred1 : c.pred0;
+    __m256i z = _mm256_cmpeq_epi32(load8u(p + i), _mm256_setzero_si256());
+    if constexpr (P == Pred::NotP0)
+        return z;
+    else
+        return _mm256_xor_si256(z, _mm256_set1_epi32(-1));
+}
+
+/** Vector satAdd32: clamp a+b to int32 on signed overflow. */
+inline __m256i
+satAdd32V(__m256i a, __m256i b)
+{
+    __m256i sum = _mm256_add_epi32(a, b);
+    __m256i ovf = _mm256_andnot_si256(_mm256_xor_si256(a, b),
+                                      _mm256_xor_si256(sum, a));
+    __m256i sat = _mm256_xor_si256(_mm256_srai_epi32(a, 31),
+                                   _mm256_set1_epi32(0x7fffffff));
+    return _mm256_blendv_epi8(sum, sat, _mm256_srai_epi32(ovf, 31));
+}
+
+/** Store byte 0 of each of the 8 dword lanes to p[0..7]. */
+inline void
+storeByte0x8(uint8_t *p, __m256i v)
+{
+    const __m256i pick = _mm256_setr_epi8(
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        0, 4, 8, 12, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    __m256i t = _mm256_shuffle_epi8(v, pick);
+    __m256i r = _mm256_permutevar8x32_epi32(
+        t, _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0));
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(p),
+                     _mm256_castsi256_si128(r));
+}
+
+/** Store byte 1 (bits 15:8) of each of the 8 dword lanes to p[0..7]. */
+inline void
+storeByte1x8(uint8_t *p, __m256i v)
+{
+    const __m256i pick = _mm256_setr_epi8(
+        1, 5, 9, 13, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1,
+        1, 5, 9, 13, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1, -1);
+    __m256i t = _mm256_shuffle_epi8(v, pick);
+    __m256i r = _mm256_permutevar8x32_epi32(
+        t, _mm256_setr_epi32(0, 4, 0, 0, 0, 0, 0, 0));
+    _mm_storel_epi64(reinterpret_cast<__m128i *>(p),
+                     _mm256_castsi256_si128(r));
+}
+
+inline __m256i
+loadAcc(const ExecCtx &c, int i)
+{
+    return _mm256_loadu_si256(
+        reinterpret_cast<const __m256i *>(c.acc + i));
+}
+
+inline void
+storeAcc(const ExecCtx &c, int i, __m256i v)
+{
+    _mm256_storeu_si256(reinterpret_cast<__m256i *>(c.acc + i), v);
+}
+
+// --------------------------------------------------------------------
+// NPU kernels
+// --------------------------------------------------------------------
+
+/**
+ * Integer MAC over lanes [i0, i1); the A operand is read at lane
+ * index i + aDelta (MacFwd splits the wrapped neighbor-slice read
+ * into two contiguous ranges).
+ */
+template <LaneType T, Pred P, bool ZOFF>
+void
+intMacRange(const ExecCtx &c, int i0, int i1, int aDelta)
+{
+    const __m256i zAv = _mm256_set1_epi32(c.zA);
+    const __m256i zBv = _mm256_set1_epi32(c.zB);
+    int i = i0;
+    for (; i + 8 <= i1; i += 8) {
+        __m256i acc = loadAcc(c, i);
+        __m256i wa = widenV<T, ZOFF>(c.aLo, c.aHi, i + aDelta, zAv);
+        __m256i wb = widenV<T, ZOFF>(c.bLo, c.bHi, i, zBv);
+        __m256i res = satAdd32V(acc, _mm256_mullo_epi32(wa, wb));
+        if constexpr (P != Pred::None)
+            res = _mm256_blendv_epi8(acc, res, passV<P>(c, i));
+        storeAcc(c, i, res);
+    }
+    for (; i < i1; ++i) {
+        if (!passS<P>(c, i))
+            continue;
+        int32_t wa = widenS<T, ZOFF>(c.aLo, c.aHi, i + aDelta, c.zA);
+        int32_t wb = widenS<T, ZOFF>(c.bLo, c.bHi, i, c.zB);
+        c.acc[i] = satAdd32s(c.acc[i], wa * wb);
+    }
+}
+
+/** bf16 MAC over lanes [i0, i1); see intMacRange for aDelta. */
+template <Pred P>
+void
+bf16MacRange(const ExecCtx &c, int i0, int i1, int aDelta)
+{
+    const __m256 qnan =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fc00000));
+    int i = i0;
+    for (; i + 8 <= i1; i += 8) {
+        __m256i acci = loadAcc(c, i);
+        __m256 fa = _mm256_castsi256_ps(_mm256_or_si256(
+            _mm256_slli_epi32(load8u(c.aHi + i + aDelta), 24),
+            _mm256_slli_epi32(load8u(c.aLo + i + aDelta), 16)));
+        __m256 fb = _mm256_castsi256_ps(_mm256_or_si256(
+            _mm256_slli_epi32(load8u(c.bHi + i), 24),
+            _mm256_slli_epi32(load8u(c.bLo + i), 16)));
+        __m256 fc = _mm256_castsi256_ps(acci);
+        // Two roundings on purpose — see the file comment on FMA.
+        __m256 r = _mm256_add_ps(fc, _mm256_mul_ps(fa, fb));
+        r = _mm256_blendv_ps(r, qnan, _mm256_cmp_ps(r, r, _CMP_UNORD_Q));
+        __m256i ri = _mm256_castps_si256(r);
+        if constexpr (P != Pred::None)
+            ri = _mm256_blendv_epi8(acci, ri, passV<P>(c, i));
+        storeAcc(c, i, ri);
+    }
+    for (; i < i1; ++i) {
+        if (!passS<P>(c, i))
+            continue;
+        float fa = bf16Lane(c.aLo, c.aHi, i + aDelta);
+        float fb = bf16Lane(c.bLo, c.bHi, i);
+        float fc;
+        __builtin_memcpy(&fc, &c.acc[i], 4);
+        float r = canonNaN(fc + fa * fb);
+        __builtin_memcpy(&c.acc[i], &r, 4);
+    }
+}
+
+template <NpuOp OP, LaneType T, Pred P, bool ZOFF>
+void
+npuMacV(const ExecCtx &c)
+{
+    constexpr bool kBf16 = T == LaneType::BF16;
+    if constexpr (OP == NpuOp::Mac) {
+        if constexpr (kBf16)
+            bf16MacRange<P>(c, 0, c.rb, 0);
+        else
+            intMacRange<T, P, ZOFF>(c, 0, c.rb, 0);
+    } else {
+        const int fwd = c.fwd;
+        if constexpr (kBf16) {
+            bf16MacRange<P>(c, 0, c.rb - fwd, fwd);
+            bf16MacRange<P>(c, c.rb - fwd, c.rb, fwd - c.rb);
+        } else {
+            intMacRange<T, P, ZOFF>(c, 0, c.rb - fwd, fwd);
+            intMacRange<T, P, ZOFF>(c, c.rb - fwd, c.rb, fwd - c.rb);
+        }
+    }
+}
+
+/** bf16 Add/Sub/Min/Max (accumulator op A operand). */
+template <NpuOp OP, Pred P>
+void
+bf16EltV(const ExecCtx &c)
+{
+    const __m256 qnan =
+        _mm256_castsi256_ps(_mm256_set1_epi32(0x7fc00000));
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 8) {
+        __m256i acci = loadAcc(c, i);
+        __m256 fa = _mm256_castsi256_ps(_mm256_or_si256(
+            _mm256_slli_epi32(load8u(c.aHi + i), 24),
+            _mm256_slli_epi32(load8u(c.aLo + i), 16)));
+        __m256 fc = _mm256_castsi256_ps(acci);
+        __m256 r;
+        if constexpr (OP == NpuOp::Add) {
+            r = _mm256_add_ps(fc, fa);
+            r = _mm256_blendv_ps(r, qnan,
+                                 _mm256_cmp_ps(r, r, _CMP_UNORD_Q));
+        } else if constexpr (OP == NpuOp::Sub) {
+            r = _mm256_sub_ps(fc, fa);
+            r = _mm256_blendv_ps(r, qnan,
+                                 _mm256_cmp_ps(r, r, _CMP_UNORD_Q));
+        } else if constexpr (OP == NpuOp::Min) {
+            // std::min(fc, fa) == (fa < fc) ? fa : fc == min_ps(fa, fc)
+            // (second operand returned on NaN and ±0 ties, like the
+            // scalar ternary).
+            r = _mm256_min_ps(fa, fc);
+        } else {
+            r = _mm256_max_ps(fa, fc); // std::max(fc, fa), see above.
+        }
+        __m256i ri = _mm256_castps_si256(r);
+        if constexpr (P != Pred::None)
+            ri = _mm256_blendv_epi8(acci, ri, passV<P>(c, i));
+        storeAcc(c, i, ri);
+    }
+}
+
+/** Integer Add/Sub/Min/Max/And/Or/Xor (accumulator op A operand). */
+template <NpuOp OP, LaneType T, Pred P, bool ZOFF>
+void
+intEltV(const ExecCtx &c)
+{
+    const __m256i zAv = _mm256_set1_epi32(c.zA);
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 8) {
+        __m256i acc = loadAcc(c, i);
+        __m256i wa = widenV<T, ZOFF>(c.aLo, c.aHi, i, zAv);
+        __m256i res;
+        if constexpr (OP == NpuOp::Add)
+            res = satAdd32V(acc, wa);
+        else if constexpr (OP == NpuOp::Sub)
+            res = satAdd32V(acc,
+                            _mm256_sub_epi32(_mm256_setzero_si256(), wa));
+        else if constexpr (OP == NpuOp::Min)
+            res = _mm256_min_epi32(acc, wa);
+        else if constexpr (OP == NpuOp::Max)
+            res = _mm256_max_epi32(acc, wa);
+        else if constexpr (OP == NpuOp::And)
+            res = _mm256_and_si256(acc, wa);
+        else if constexpr (OP == NpuOp::Or)
+            res = _mm256_or_si256(acc, wa);
+        else
+            res = _mm256_xor_si256(acc, wa);
+        if constexpr (P != Pred::None)
+            res = _mm256_blendv_epi8(acc, res, passV<P>(c, i));
+        storeAcc(c, i, res);
+    }
+}
+
+/** CmpGtP0/P1: predOut[i] = widen(a) > widen(b); ignores predicates. */
+template <LaneType T, bool ZOFF>
+void
+cmpGtV(const ExecCtx &c)
+{
+    const __m256i zAv = _mm256_set1_epi32(c.zA);
+    const __m256i zBv = _mm256_set1_epi32(c.zB);
+    const __m256i one = _mm256_set1_epi32(1);
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 8) {
+        __m256i wa = widenV<T, ZOFF>(c.aLo, c.aHi, i, zAv);
+        __m256i wb = widenV<T, ZOFF>(c.bLo, c.bHi, i, zBv);
+        __m256i m = _mm256_and_si256(_mm256_cmpgt_epi32(wa, wb), one);
+        storeByte0x8(c.predOut + i, m);
+    }
+}
+
+// Selector cascade, mirroring exec_specialized.cc's canonicalization
+// (zeroOff only matters for U8; CmpGt ignores predicates; the scalar
+// selector's validity rules have already admitted the combination).
+
+template <NpuOp OP, LaneType T, Pred P>
+NpuKernel
+pickZV(bool zoff)
+{
+    constexpr bool kMac = OP == NpuOp::Mac || OP == NpuOp::MacFwd;
+    if constexpr (T == LaneType::BF16 &&
+                  (OP == NpuOp::And || OP == NpuOp::Or ||
+                   OP == NpuOp::Xor || OP == NpuOp::CmpGtP0 ||
+                   OP == NpuOp::CmpGtP1)) {
+        (void)zoff;
+        return nullptr; // No bf16 form (scalar selector rejects too).
+    } else if constexpr (OP == NpuOp::CmpGtP0 || OP == NpuOp::CmpGtP1) {
+        return zoff ? &cmpGtV<T, true> : &cmpGtV<T, false>;
+    } else if constexpr (kMac) {
+        return zoff ? &npuMacV<OP, T, P, true>
+                    : &npuMacV<OP, T, P, false>;
+    } else if constexpr (T == LaneType::BF16) {
+        (void)zoff;
+        return &bf16EltV<OP, P>;
+    } else {
+        return zoff ? &intEltV<OP, T, P, true>
+                    : &intEltV<OP, T, P, false>;
+    }
+}
+
+template <NpuOp OP, LaneType T>
+NpuKernel
+pickPV(Pred p, bool zoff)
+{
+    switch (p) {
+      case Pred::None: return pickZV<OP, T, Pred::None>(zoff);
+      case Pred::P0: return pickZV<OP, T, Pred::P0>(zoff);
+      case Pred::P1: return pickZV<OP, T, Pred::P1>(zoff);
+      case Pred::NotP0: return pickZV<OP, T, Pred::NotP0>(zoff);
+    }
+    return nullptr;
+}
+
+template <NpuOp OP>
+NpuKernel
+pickTV(LaneType t, Pred p, bool zoff)
+{
+    switch (t) {
+      case LaneType::I8: return pickPV<OP, LaneType::I8>(p, zoff);
+      case LaneType::U8: return pickPV<OP, LaneType::U8>(p, zoff);
+      case LaneType::I16: return pickPV<OP, LaneType::I16>(p, zoff);
+      case LaneType::BF16: return pickPV<OP, LaneType::BF16>(p, zoff);
+    }
+    return nullptr;
+}
+
+// --------------------------------------------------------------------
+// OUT kernels
+// --------------------------------------------------------------------
+
+/**
+ * Requant::apply on one 4 x int64 half (int32 values sign-extended
+ * to 64-bit lanes): optional saturating pre-left-shift, overflow
+ * flagging, exact 32x32 multiply, nudge, truncating /2^31.
+ * Returns 64-bit lanes whose low dwords hold `high`.
+ */
+inline __m256i
+requantHalf64(__m256i x64, __m256i mul64, int lshift, bool pre_shift)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    if (pre_shift) {
+        const __m256i maxv = _mm256_set1_epi64x(INT32_MAX);
+        const __m256i minv = _mm256_set1_epi64x(INT32_MIN);
+        x64 = _mm256_sll_epi64(x64, _mm_cvtsi32_si128(lshift));
+        x64 = _mm256_blendv_epi8(x64, maxv,
+                                 _mm256_cmpgt_epi64(x64, maxv));
+        x64 = _mm256_blendv_epi8(x64, minv,
+                                 _mm256_cmpgt_epi64(minv, x64));
+    }
+    __m256i ovf = _mm256_and_si256(
+        _mm256_cmpeq_epi64(x64, mul64),
+        _mm256_cmpeq_epi64(x64, _mm256_set1_epi64x(INT32_MIN)));
+    __m256i prod = _mm256_mul_epi32(x64, mul64);
+    __m256i nudge = _mm256_blendv_epi8(
+        _mm256_set1_epi64x(1 << 30), _mm256_set1_epi64x(1 - (1 << 30)),
+        _mm256_cmpgt_epi64(zero, prod));
+    __m256i t = _mm256_add_epi64(prod, nudge);
+    // Truncate-toward-zero division by 2^31: floor (logical shift +
+    // sign fill), then +1 where negative with a nonzero remainder.
+    __m256i tneg = _mm256_cmpgt_epi64(zero, t);
+    __m256i q = _mm256_or_si256(
+        _mm256_srli_epi64(t, 31),
+        _mm256_and_si256(tneg,
+                         _mm256_set1_epi64x(
+                             int64_t(0xFFFFFFFE00000000ull))));
+    __m256i frac = _mm256_and_si256(t, _mm256_set1_epi64x(0x7fffffff));
+    __m256i fracnz = _mm256_xor_si256(_mm256_cmpeq_epi64(frac, zero),
+                                      _mm256_set1_epi64x(-1));
+    q = _mm256_add_epi64(
+        q, _mm256_and_si256(_mm256_and_si256(tneg, fracnz),
+                            _mm256_set1_epi64x(1)));
+    return _mm256_blendv_epi8(q, _mm256_set1_epi64x(INT32_MAX), ovf);
+}
+
+/** Low dwords of two 4 x int64 vectors packed into one 8 x int32. */
+inline __m256i
+pack64Lo(__m256i lo, __m256i hi)
+{
+    const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    __m256i a = _mm256_permutevar8x32_epi32(lo, idx);
+    __m256i b = _mm256_permutevar8x32_epi32(hi, idx);
+    return _mm256_permute2x128_si256(a, b, 0x20);
+}
+
+/** Requant::apply on 8 accumulator lanes (entry fields read per call). */
+inline __m256i
+requant8x(const Requant &q, __m256i x)
+{
+    const __m256i mul64 = _mm256_set1_epi64x(q.multiplier);
+    const bool pre = q.shift < 0;
+    const int lshift = pre ? -q.shift : 0;
+    __m256i lo = _mm256_cvtepi32_epi64(_mm256_castsi256_si128(x));
+    __m256i hi = _mm256_cvtepi32_epi64(_mm256_extracti128_si256(x, 1));
+    lo = requantHalf64(lo, mul64, lshift, pre);
+    hi = requantHalf64(hi, mul64, lshift, pre);
+    __m256i high = pack64Lo(lo, hi);
+    if (q.shift > 0) {
+        const int32_t mask = (1 << q.shift) - 1;
+        __m256i rem = _mm256_and_si256(high, _mm256_set1_epi32(mask));
+        __m256i thr = _mm256_add_epi32(_mm256_set1_epi32(mask >> 1),
+                                       _mm256_srli_epi32(high, 31));
+        __m256i round = _mm256_cmpgt_epi32(rem, thr);
+        high = _mm256_sub_epi32(
+            _mm256_sra_epi32(high, _mm_cvtsi32_si128(q.shift)), round);
+    }
+    return satAdd32V(high, _mm256_set1_epi32(q.offset));
+}
+
+/** Requant8 (non-LUT) / Requant16 / ActOnly8. */
+template <OutOp OP>
+void
+outRequantV(const ExecCtx &c)
+{
+    const RequantEntry &e = *c.rq;
+    const __m256i mn = _mm256_set1_epi32(e.actMin);
+    const __m256i mx = _mm256_set1_epi32(e.actMax);
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 8) {
+        __m256i v = loadAcc(c, i);
+        if constexpr (OP != OutOp::ActOnly8)
+            v = requant8x(e.rq, v);
+        v = _mm256_min_epi32(_mm256_max_epi32(v, mn), mx);
+        storeByte0x8(c.outLo + i, v);
+        if constexpr (OP == OutOp::Requant16)
+            storeByte1x8(c.outHi + i, v);
+    }
+}
+
+/** StoreBf16 with None/Relu/Relu6 (LUT-free activations). */
+template <ActFn ACT>
+void
+outStoreBf16V(const ExecCtx &c)
+{
+    const __m256 zero = _mm256_setzero_ps();
+    const __m256 six = _mm256_set1_ps(6.0f);
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 8) {
+        __m256 f = _mm256_castsi256_ps(loadAcc(c, i));
+        if constexpr (ACT == ActFn::Relu) {
+            f = _mm256_max_ps(zero, f); // std::max(f, 0.f): NaN -> f.
+        } else if constexpr (ACT == ActFn::Relu6) {
+            f = _mm256_min_ps(six, _mm256_max_ps(zero, f));
+        }
+        // BFloat16::fromFloat: quiet NaNs, round-to-nearest-even.
+        __m256i u = _mm256_castps_si256(f);
+        __m256i isnan = _mm256_cmpgt_epi32(
+            _mm256_and_si256(u, _mm256_set1_epi32(0x7fffffff)),
+            _mm256_set1_epi32(0x7f800000));
+        __m256i nanbits = _mm256_or_si256(_mm256_srli_epi32(u, 16),
+                                          _mm256_set1_epi32(0x40));
+        __m256i lsb = _mm256_and_si256(_mm256_srli_epi32(u, 16),
+                                       _mm256_set1_epi32(1));
+        __m256i rnd = _mm256_srli_epi32(
+            _mm256_add_epi32(
+                u, _mm256_add_epi32(_mm256_set1_epi32(0x7fff), lsb)),
+            16);
+        __m256i bits = _mm256_blendv_epi8(rnd, nanbits, isnan);
+        storeByte0x8(c.outLo + i, bits);
+        storeByte1x8(c.outHi + i, bits);
+    }
+}
+
+// --------------------------------------------------------------------
+// NDU kernels (the move/broadcast/rotate family already runs as wide
+// memcpy/memset in the scalar specialized engine; only the per-byte
+// loops gain vector forms here).
+// --------------------------------------------------------------------
+
+void
+nduMergeMaskV(const NduCtx &c)
+{
+    const __m256i zero = _mm256_setzero_si256();
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 32) {
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c.a + i));
+        __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c.b + i));
+        __m256i pz = _mm256_cmpeq_epi8(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(c.pred + i)),
+            zero);
+        // d = ((p != 0) != inv) ? a : b.
+        __m256i r = c.predInv ? _mm256_blendv_epi8(b, a, pz)
+                              : _mm256_blendv_epi8(a, b, pz);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(c.out + i), r);
+    }
+}
+
+void
+nduLoadMaskV(const NduCtx &c)
+{
+    const __m256i one = _mm256_set1_epi8(1);
+    const int rb = c.rb;
+    for (int i = 0; i < rb; i += 32) {
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(c.a + i));
+        // min_epu8(a, 1) == (a != 0 ? 1 : 0).
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(c.out + i),
+                            _mm256_min_epu8(a, one));
+    }
+}
+
+/** The 16 even (phase 0) or odd (phase 1) bytes of each 128-bit lane. */
+inline __m128i
+compressHalf(__m256i v, __m256i pick)
+{
+    __m256i t = _mm256_shuffle_epi8(v, pick);
+    __m256i r = _mm256_permutevar8x32_epi32(
+        t, _mm256_setr_epi32(0, 1, 4, 5, 0, 0, 0, 0));
+    return _mm256_castsi256_si128(r);
+}
+
+void
+nduCompress2V(const NduCtx &c)
+{
+    // d[g*64 + j] = a[g*64 + ((2j + phase) & 63)]: (2j+phase) mod 64
+    // has period 32 in j, so each 64-byte group's output is the 32
+    // even (or odd) source bytes stored twice.
+    const char ph = char(c.phase);
+    const __m256i pick = _mm256_setr_epi8(
+        ph, ph + 2, ph + 4, ph + 6, ph + 8, ph + 10, ph + 12, ph + 14,
+        -1, -1, -1, -1, -1, -1, -1, -1,
+        ph, ph + 2, ph + 4, ph + 6, ph + 8, ph + 10, ph + 12, ph + 14,
+        -1, -1, -1, -1, -1, -1, -1, -1);
+    const int groups = c.rb / 64;
+    for (int g = 0; g < groups; ++g) {
+        const uint8_t *src = c.a + g * 64;
+        __m128i e0 = compressHalf(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i *>(src)),
+            pick);
+        __m128i e1 = compressHalf(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + 32)),
+            pick);
+        __m256i out = _mm256_set_m128i(e1, e0);
+        uint8_t *d = c.out + g * 64;
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d), out);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(d + 32), out);
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Selector entry points (the only names visible outside this TU).
+// --------------------------------------------------------------------
+
+NpuKernel
+selectNpuKernelAvx2(const NpuSlot &npu)
+{
+    bool zoff = npu.zeroOff && npu.type == LaneType::U8;
+    Pred p = npu.pred;
+    if (npu.op == NpuOp::CmpGtP0 || npu.op == NpuOp::CmpGtP1)
+        p = Pred::None;
+    switch (npu.op) {
+      case NpuOp::Mac: return pickTV<NpuOp::Mac>(npu.type, p, zoff);
+      case NpuOp::MacFwd:
+        return pickTV<NpuOp::MacFwd>(npu.type, p, zoff);
+      case NpuOp::Add: return pickTV<NpuOp::Add>(npu.type, p, zoff);
+      case NpuOp::Sub: return pickTV<NpuOp::Sub>(npu.type, p, zoff);
+      case NpuOp::Min: return pickTV<NpuOp::Min>(npu.type, p, zoff);
+      case NpuOp::Max: return pickTV<NpuOp::Max>(npu.type, p, zoff);
+      case NpuOp::And: return pickTV<NpuOp::And>(npu.type, p, zoff);
+      case NpuOp::Or: return pickTV<NpuOp::Or>(npu.type, p, zoff);
+      case NpuOp::Xor: return pickTV<NpuOp::Xor>(npu.type, p, zoff);
+      case NpuOp::CmpGtP0:
+        return pickTV<NpuOp::CmpGtP0>(npu.type, p, zoff);
+      case NpuOp::CmpGtP1:
+        return pickTV<NpuOp::CmpGtP1>(npu.type, p, zoff);
+      default:
+        return nullptr;
+    }
+}
+
+OutKernel
+selectOutKernelAvx2(const OutSlot &out)
+{
+    switch (out.op) {
+      case OutOp::Requant8:
+        if (out.act == ActFn::Sigmoid || out.act == ActFn::Tanh)
+            return nullptr; // LUT path stays scalar.
+        return &outRequantV<OutOp::Requant8>;
+      case OutOp::Requant16:
+        return &outRequantV<OutOp::Requant16>;
+      case OutOp::ActOnly8:
+        return &outRequantV<OutOp::ActOnly8>;
+      case OutOp::StoreBf16:
+        switch (out.act) {
+          case ActFn::None: return &outStoreBf16V<ActFn::None>;
+          case ActFn::Relu: return &outStoreBf16V<ActFn::Relu>;
+          case ActFn::Relu6: return &outStoreBf16V<ActFn::Relu6>;
+          default: return nullptr; // Sigmoid/Tanh call libm: scalar.
+        }
+      default:
+        return nullptr; // CopyAcc32 is already a memcpy.
+    }
+}
+
+NduKernel
+selectNduKernelAvx2(const NduSlot &slot)
+{
+    switch (slot.op) {
+      case NduOp::MergeMask: return &nduMergeMaskV;
+      case NduOp::LoadMask: return &nduLoadMaskV;
+      case NduOp::Compress2: return &nduCompress2V;
+      default:
+        // Bypass/SplatImm/Rotate/WindowGather/RepWindow/GroupBcast
+        // already execute as memcpy/memset in the scalar kernels.
+        return nullptr;
+    }
+}
+
+} // namespace ncore

@@ -16,6 +16,7 @@
 #include "common/bf16.h"
 #include "common/logging.h"
 #include "common/saturate.h"
+#include "ncore/simd.h"
 
 namespace ncore {
 
@@ -494,7 +495,7 @@ nduUsesHi(const NduSlot &n)
 /** Bind one NDU slot; returns false if an operand fails to resolve. */
 bool
 bindNdu(const NduSlot &slot, const PlanBindings &b, uint32_t ctrl_imm,
-        NduCtx &c, NduKernel &kern)
+        NduCtx &c, NduKernel &kern, SimdTier simd)
 {
     kern = selectNduKernel(slot);
     if (!kern)
@@ -524,6 +525,9 @@ bindNdu(const NduSlot &slot, const PlanBindings &b, uint32_t ctrl_imm,
         c.pred = b.pred[slot.param & 1];
         c.predInv = (slot.param & 2) != 0;
     }
+    if (simd != SimdTier::Scalar)
+        if (NduKernel v = simdSelectNdu(simd, slot))
+            kern = v;
     return true;
 }
 
@@ -612,7 +616,7 @@ computeRepInvariant(const Instruction &in, const ExecPlan &p)
 } // namespace
 
 ExecPlan
-buildExecPlan(const Instruction &in, const PlanBindings &b)
+buildExecPlan(const Instruction &in, const PlanBindings &b, SimdTier simd)
 {
     ExecPlan p;
 
@@ -629,8 +633,8 @@ buildExecPlan(const Instruction &in, const PlanBindings &b)
     p.activeNduSlots = uint8_t((in.ndu0.op != NduOp::None ? 1 : 0) +
                                (in.ndu1.op != NduOp::None ? 1 : 0));
 
-    bindNdu(in.ndu0, b, in.ctrl.imm, p.ndu[0], p.nduKernel[0]);
-    bindNdu(in.ndu1, b, in.ctrl.imm, p.ndu[1], p.nduKernel[1]);
+    bindNdu(in.ndu0, b, in.ctrl.imm, p.ndu[0], p.nduKernel[0], simd);
+    bindNdu(in.ndu1, b, in.ctrl.imm, p.ndu[1], p.nduKernel[1], simd);
 
     // NPU and OUT share one operand context.
     ExecCtx &c = p.ctx;
@@ -668,6 +672,9 @@ buildExecPlan(const Instruction &in, const PlanBindings &b)
                 c.predOut = b.pred[1];
             if (ok) {
                 p.npuKernel = k;
+                if (simd != SimdTier::Scalar)
+                    if (NpuKernel v = simdSelectNpu(simd, in.npu))
+                        p.npuKernel = v;
                 p.npuIsMac = in.npu.op == NpuOp::Mac ||
                              in.npu.op == NpuOp::MacFwd;
             }
@@ -675,6 +682,9 @@ buildExecPlan(const Instruction &in, const PlanBindings &b)
     }
 
     p.outKernel = selectOutKernel(in.out);
+    if (p.outKernel && simd != SimdTier::Scalar)
+        if (OutKernel v = simdSelectOut(simd, in.out))
+            p.outKernel = v;
     p.repInvariant = computeRepInvariant(in, p);
     return p;
 }

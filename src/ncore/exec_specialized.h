@@ -103,6 +103,20 @@ using NpuKernel = void (*)(const ExecCtx &);
 using OutKernel = void (*)(const ExecCtx &);
 using NduKernel = void (*)(const NduCtx &);
 
+/**
+ * SIMD tier of the specialized engine's lane kernels (see
+ * ncore/simd.h for probing/dispatch). Ordering is meaningful: higher
+ * enum value = wider vectors; Auto resolves via the NCORE_SIMD env
+ * var, then cpuid.
+ */
+enum class SimdTier : uint8_t
+{
+    Auto = 0, ///< Resolve via NCORE_SIMD env var, then cpuid.
+    Scalar,   ///< Portable scalar specialized kernels only.
+    Avx2,     ///< 256-bit kernels (requires AVX2).
+    Avx512,   ///< 512-bit kernels (requires AVX-512 F/BW/VL/DQ).
+};
+
 /** Stable row/register pointers of one Machine, for plan binding. */
 struct PlanBindings
 {
@@ -136,8 +150,15 @@ struct ExecPlan
     uint8_t enabledReads = 0;
 };
 
-/** Classify one decoded instruction and bind its specialized plan. */
-ExecPlan buildExecPlan(const Instruction &in, const PlanBindings &b);
+/**
+ * Classify one decoded instruction and bind its specialized plan.
+ * `simd` must be a concrete tier (not Auto; resolve it first via
+ * resolveSimdTier in ncore/simd.h): kernels the tier vectorizes
+ * replace the scalar specialized ones, everything else keeps the
+ * scalar fallback, bit-identically either way.
+ */
+ExecPlan buildExecPlan(const Instruction &in, const PlanBindings &b,
+                       SimdTier simd = SimdTier::Scalar);
 
 } // namespace ncore
 

@@ -8,6 +8,7 @@
 
 #include "common/bf16.h"
 #include "common/saturate.h"
+#include "ncore/simd.h"
 
 namespace ncore {
 
@@ -51,6 +52,8 @@ Machine::Machine(const MachineConfig &cfg, const SocConfig &soc,
       weightRam_("weightRam", cfg.ramRows, rowBytes_, model_ecc),
       iram_(kPcSpace), decoded_(kPcSpace), plans_(kPcSpace),
       fastExec_(resolveFastExec(opts.execEngine)),
+      simdTier_(fastExec_ ? resolveSimdTier(opts.simd)
+                          : SimdTier::Scalar),
       sink_(opts.traceSink)
 {
     panic_if(rowBytes_ % 64 != 0, "row bytes must be a multiple of 64");
@@ -143,6 +146,12 @@ Machine::publishStats(Stats &into) const
     into.add(stats::kEccUncorrectableWeight,
              weightRam_.eccStats().uncorrectable);
 
+    // Info gauge: which exec engine + SIMD kernel tier produced these
+    // numbers (constant 1; the labels carry the information).
+    into.set(stats::execEngineInfo(fastExec_ ? "specialized" : "generic",
+                                   simdTierName(simdTier_)),
+             1.0);
+
     if (prof_) {
         // Keep the profiler's DMA byte view current before exposing
         // it (counters otherwise sync only at marks and detach).
@@ -199,7 +208,15 @@ Machine::planBindings()
 void
 Machine::bindPlan(int idx)
 {
-    plans_[idx] = buildExecPlan(decoded_[idx], planBindings());
+    plans_[idx] = buildExecPlan(decoded_[idx], planBindings(), simdTier_);
+}
+
+std::string
+Machine::execDescription() const
+{
+    if (!fastExec_)
+        return "generic";
+    return std::string("specialized/") + simdTierName(simdTier_);
 }
 
 // --------------------------------------------------------------------

@@ -77,6 +77,12 @@ struct MachineOptions
     /// nullptr = no profiling work at all. Not owned; may also be
     /// attached/detached later via setProfile().
     CycleProfile *profile = nullptr;
+    /// SIMD tier of the specialized engine's lane kernels. Auto
+    /// honors the NCORE_SIMD env var (`scalar|avx2|avx512`, the one
+    /// place it is read) and otherwise probes cpuid; explicit
+    /// requests are clamped to what the host supports. Ignored (tier
+    /// pinned to Scalar) when the generic interpreter is selected.
+    SimdTier simd = SimdTier::Auto;
 };
 
 /** Result of Machine::run(). */
@@ -216,6 +222,19 @@ class Machine : public RamRowPort
      */
     bool usingFastPath() const { return fastExec_; }
 
+    /**
+     * Resolved SIMD kernel tier of the specialized engine (never
+     * Auto). SimdTier::Scalar whenever the generic interpreter is
+     * active, since it does not run the specialized kernels at all.
+     */
+    SimdTier simdTier() const { return simdTier_; }
+
+    /**
+     * Human-readable engine descriptor for telemetry output:
+     * "generic", or "specialized/<tier>" (e.g. "specialized/avx2").
+     */
+    std::string execDescription() const;
+
     /** The telemetry sink installed at construction (may be null). */
     TraceSink *traceSink() const { return sink_; }
 
@@ -339,6 +358,7 @@ class Machine : public RamRowPort
     int pc_ = 0;
     bool running_ = false;
     bool fastExec_ = true; ///< Specialized engine (vs generic interpreter).
+    SimdTier simdTier_ = SimdTier::Scalar; ///< Resolved kernel tier.
     TraceSink *sink_ = nullptr; ///< Cycle-domain telemetry (not owned).
     CycleProfile *prof_ = nullptr; ///< Cycle profiler (not owned).
     /// Thread that called start(); run() asserts single-thread

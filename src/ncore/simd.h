@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime SIMD-tier dispatch for the specialized execution engine.
+ *
+ * The scalar specialized kernels in exec_specialized.cc stay the
+ * always-present reference fallback; on x86-64 hosts we additionally
+ * build hand-vectorized AVX2 and AVX-512 implementations of the hot
+ * lane loops (NPU MAC/elementwise, OUT requantize/activation, NDU
+ * mask ops) in their own translation units compiled with per-file
+ * `-mavx2` / `-mavx512*` flags so the rest of the binary stays
+ * portable. At decode time buildExecPlan() asks the highest enabled
+ * tier for a kernel and chains down (avx512 -> avx2 -> scalar) when a
+ * tier has no vectorized form of that op, so any op the SIMD tiers do
+ * not cover silently keeps the scalar specialized kernel.
+ *
+ * Tier selection happens once per Machine: Options::simd == Auto
+ * honors the NCORE_SIMD env var (`scalar`, `avx2` or `avx512` — the
+ * one place it is read) and otherwise probes cpuid; explicit requests
+ * are clamped to what the host actually supports so a binary built
+ * with AVX-512 objects still runs everywhere.
+ *
+ * Bit-identity contract: every vector kernel must match the generic
+ * interpreter bit for bit (same RAM bytes, accumulators, predicates,
+ * perf counters), exactly like the scalar specialized kernels. The
+ * three-way differential fuzz harness in tests/fastpath_diff_test.cc
+ * enforces the chain generic == specialized/scalar == specialized/SIMD.
+ */
+
+#ifndef NCORE_NCORE_SIMD_H
+#define NCORE_NCORE_SIMD_H
+
+#include <cstdint>
+
+#include "ncore/exec_specialized.h"
+
+namespace ncore {
+
+// SimdTier itself lives in exec_specialized.h (buildExecPlan takes it).
+
+/** Lower-case tier name ("scalar", "avx2", "avx512"); Auto -> "auto". */
+const char *simdTierName(SimdTier t);
+
+/** Best tier the running CPU supports among the compiled-in kernels. */
+SimdTier bestSimdTier();
+
+/** Parse a NCORE_SIMD value; fatal on anything unrecognized. */
+SimdTier parseSimdTier(const char *s);
+
+/**
+ * Resolve a Machine::Options tier request to a concrete tier: Auto
+ * consults NCORE_SIMD then bestSimdTier(); explicit requests are
+ * clamped to bestSimdTier() so they never select an unsupported ISA.
+ */
+SimdTier resolveSimdTier(SimdTier requested);
+
+/**
+ * Vectorized kernel lookup for `tier`, chaining down through lower
+ * SIMD tiers. Returns null when no tier <= `tier` has a vector form
+ * of the op (caller keeps the scalar specialized kernel). The slot
+ * must already have a scalar specialized kernel: the SIMD selectors
+ * assume the scalar selector's validity rules already passed.
+ */
+NpuKernel simdSelectNpu(SimdTier tier, const NpuSlot &npu);
+OutKernel simdSelectOut(SimdTier tier, const OutSlot &out);
+NduKernel simdSelectNdu(SimdTier tier, const NduSlot &slot);
+
+// Per-tier selector entry points, defined in the per-file-flag
+// translation units (exec_simd_avx2.cc / exec_simd_avx512.cc). Only
+// simdSelectNpu/Out/Ndu should call these.
+#if NCORE_SIMD_AVX2
+NpuKernel selectNpuKernelAvx2(const NpuSlot &npu);
+OutKernel selectOutKernelAvx2(const OutSlot &out);
+NduKernel selectNduKernelAvx2(const NduSlot &slot);
+#endif
+#if NCORE_SIMD_AVX512
+NpuKernel selectNpuKernelAvx512(const NpuSlot &npu);
+OutKernel selectOutKernelAvx512(const OutSlot &out);
+NduKernel selectNduKernelAvx512(const NduSlot &slot);
+#endif
+
+} // namespace ncore
+
+#endif // NCORE_NCORE_SIMD_H

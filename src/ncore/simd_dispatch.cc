@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SIMD tier probing and the tier-chained kernel selectors. This TU is
+ * compiled with the default (portable) flags; the vector kernels live
+ * in exec_simd_avx2.cc / exec_simd_avx512.cc behind per-file flags.
+ */
+
+#include "ncore/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace ncore {
+
+const char *
+simdTierName(SimdTier t)
+{
+    switch (t) {
+      case SimdTier::Auto: return "auto";
+      case SimdTier::Scalar: return "scalar";
+      case SimdTier::Avx2: return "avx2";
+      case SimdTier::Avx512: return "avx512";
+    }
+    return "?";
+}
+
+SimdTier
+bestSimdTier()
+{
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#if NCORE_SIMD_AVX512
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512vl") &&
+        __builtin_cpu_supports("avx512dq"))
+        return SimdTier::Avx512;
+#endif
+#if NCORE_SIMD_AVX2
+    if (__builtin_cpu_supports("avx2"))
+        return SimdTier::Avx2;
+#endif
+#endif
+    return SimdTier::Scalar;
+}
+
+SimdTier
+parseSimdTier(const char *s)
+{
+    if (std::strcmp(s, "scalar") == 0)
+        return SimdTier::Scalar;
+    if (std::strcmp(s, "avx2") == 0)
+        return SimdTier::Avx2;
+    if (std::strcmp(s, "avx512") == 0)
+        return SimdTier::Avx512;
+    fatal("NCORE_SIMD=%s is not scalar|avx2|avx512", s);
+}
+
+SimdTier
+resolveSimdTier(SimdTier requested)
+{
+    SimdTier best = bestSimdTier();
+    SimdTier req = requested;
+    if (req == SimdTier::Auto) {
+        const char *env = std::getenv("NCORE_SIMD");
+        req = (env && env[0]) ? parseSimdTier(env) : best;
+    }
+    return req < best ? req : best;
+}
+
+NpuKernel
+simdSelectNpu(SimdTier tier, const NpuSlot &npu)
+{
+#if NCORE_SIMD_AVX512
+    if (tier >= SimdTier::Avx512)
+        if (NpuKernel k = selectNpuKernelAvx512(npu))
+            return k;
+#endif
+#if NCORE_SIMD_AVX2
+    if (tier >= SimdTier::Avx2)
+        if (NpuKernel k = selectNpuKernelAvx2(npu))
+            return k;
+#endif
+    (void)tier;
+    (void)npu;
+    return nullptr;
+}
+
+OutKernel
+simdSelectOut(SimdTier tier, const OutSlot &out)
+{
+#if NCORE_SIMD_AVX512
+    if (tier >= SimdTier::Avx512)
+        if (OutKernel k = selectOutKernelAvx512(out))
+            return k;
+#endif
+#if NCORE_SIMD_AVX2
+    if (tier >= SimdTier::Avx2)
+        if (OutKernel k = selectOutKernelAvx2(out))
+            return k;
+#endif
+    (void)tier;
+    (void)out;
+    return nullptr;
+}
+
+NduKernel
+simdSelectNdu(SimdTier tier, const NduSlot &slot)
+{
+#if NCORE_SIMD_AVX512
+    if (tier >= SimdTier::Avx512)
+        if (NduKernel k = selectNduKernelAvx512(slot))
+            return k;
+#endif
+#if NCORE_SIMD_AVX2
+    if (tier >= SimdTier::Avx2)
+        if (NduKernel k = selectNduKernelAvx2(slot))
+            return k;
+#endif
+    (void)tier;
+    (void)slot;
+    return nullptr;
+}
+
+} // namespace ncore

@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "common/stats.h"
+#include "ncore/simd.h"
 
 namespace ncore {
 
@@ -89,8 +90,11 @@ ServeEngine::profileSample(int sample, const std::string &model_name)
     dev.machine.setProfile(&prof);
     dev.exec->infer(samples_[size_t(sample)]);
     dev.machine.setProfile(nullptr);
-    return buildProfileReport(prof, &model_->loadable().graph,
-                              model_name, dev.machine.config().clockHz);
+    ProfileReport rep =
+        buildProfileReport(prof, &model_->loadable().graph, model_name,
+                           dev.machine.config().clockHz);
+    rep.engine = dev.machine.execDescription();
+    return rep;
 }
 
 // --------------------------------------------------------------------
@@ -501,6 +505,18 @@ ServeEngine::run(const ServeConfig &user_cfg, int queries)
         result.stats.add(name, 0.0);
     for (int q = 0; q < queries; ++q)
         result.stats.merge(queryCounters[size_t(q)]);
+
+    // Invoke-window deltas cancel constant gauges, so stamp the
+    // engine/SIMD-tier info gauge here (all device contexts of one
+    // engine share a configuration).
+    {
+        const Machine &m = contexts_.front()->machine;
+        result.stats.set(
+            stats::execEngineInfo(
+                m.usingFastPath() ? "specialized" : "generic",
+                simdTierName(m.simdTier())),
+            1.0);
+    }
 
     result.stats.add(stats::kServeQueries, uint64_t(queries));
     result.stats.add(stats::kServeBatches, uint64_t(num_batches));

@@ -386,6 +386,10 @@ ProfileReport::text() const
              "ncore profile: %s  (row %d B, clock %.3g Hz)\n",
              model.c_str(), rowBytes, clockHz);
     s += buf;
+    if (!engine.empty()) {
+        snprintf(buf, sizeof buf, "  exec engine: %s\n", engine.c_str());
+        s += buf;
+    }
     snprintf(buf, sizeof buf,
              "  cycles %llu (%.3f ms)  instructions %llu  "
              "mac lanes %llu (%.1f%% of peak)\n",
@@ -463,6 +467,8 @@ ProfileReport::json() const
     const uint64_t total = totals.cycles();
     j.beginObject();
     j.field("model", model.c_str());
+    if (!engine.empty())
+        j.field("engine", engine.c_str());
     j.field("clock_hz", clockHz);
     j.field("row_bytes", rowBytes);
     j.field("total_cycles", total);

@@ -239,6 +239,12 @@ struct LayerProfile
 struct ProfileReport
 {
     std::string model;
+    /// Execution engine + SIMD kernel tier that produced the profile
+    /// (Machine::execDescription(), e.g. "specialized/avx2"); ""
+    /// omits the line/field from the renderings. Cycle counts are
+    /// engine-invariant; wall-clock anecdotes attached to a report
+    /// are not, so reports say what ran them.
+    std::string engine;
     double clockHz = 0;
     int rowBytes = 4096;
     ProfileCounters totals;

@@ -25,6 +25,16 @@ latencyQuantile(const char *q)
 }
 
 std::string
+execEngineInfo(const char *engine, const char *simd)
+{
+    char buf[96];
+    snprintf(buf, sizeof buf,
+             "ncore_exec_engine_info{engine=\"%s\",simd=\"%s\"}", engine,
+             simd);
+    return buf;
+}
+
+std::string
 deviceBusyCounter(int device)
 {
     char buf[64];

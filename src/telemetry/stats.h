@@ -146,6 +146,13 @@ inline constexpr const char *kServeIps = "serve_ips";
 inline constexpr const char *kServeQueryLatency =
     "serve_query_latency_seconds";
 
+/**
+ * `ncore_exec_engine_info{engine="...",simd="..."}` info gauge
+ * (constant 1): which execution engine and SIMD kernel tier a
+ * Machine ran with, so exported snapshots are self-describing.
+ */
+std::string execEngineInfo(const char *engine, const char *simd);
+
 /** `serve_batch_size_total{size="k"}` occupancy-histogram bucket. */
 std::string batchSizeCounter(int size);
 /** `serve_latency_seconds{quantile="0.99"}` summary gauge. */

@@ -2,10 +2,17 @@
  * @file
  * Differential fuzzing of the specialized execution engine against the
  * generic interpreter (see src/ncore/exec_specialized.h): random VLIW
- * programs run through both engines must produce bit-identical RAM
- * contents, accumulators, predicates, N/OUT registers, perf counters
- * and cycle counts. This is the enforcement mechanism behind the
- * fast path's equivalence guarantee.
+ * programs run through a three-way engine matrix — generic,
+ * specialized with scalar kernels, and specialized with the SIMD tier
+ * resolved from NCORE_SIMD/cpuid (ncore/simd.h) — and every engine
+ * must produce bit-identical RAM contents, accumulators, predicates,
+ * N/OUT registers, perf counters and cycle counts. This is the
+ * enforcement mechanism behind the fast path's equivalence guarantee;
+ * CI runs the binary once with NCORE_SIMD=scalar and once at the
+ * host's best tier so the vector kernels are diffed on every push.
+ *
+ * The fuzz program count can be overridden with NCORE_DIFF_PROGRAMS
+ * (the sanitizer job runs a reduced count).
  *
  * The generator tracks the architectural address-register state of the
  * program it is emitting (rows, byte offsets, increments, circular
@@ -19,13 +26,16 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "common/machine.h"
 #include "common/rng.h"
 #include "isa/encoding.h"
 #include "ncore/machine.h"
+#include "ncore/simd.h"
 
 namespace ncore {
 namespace {
@@ -390,29 +400,39 @@ class FastPathDiff : public ::testing::Test
 {
   protected:
     FastPathDiff()
-        : fast_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
-                {ExecEngine::Specialized, nullptr}),
-          gen_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
-               {ExecEngine::Generic, nullptr})
+        : gen_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+               {ExecEngine::Generic, nullptr}),
+          fast_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                {ExecEngine::Specialized, nullptr, nullptr,
+                 SimdTier::Scalar}),
+          simd_(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                {ExecEngine::Specialized, nullptr})
     {
+        // simd_ resolves SimdTier::Auto, so NCORE_SIMD in the test
+        // environment (the CI matrix) picks its kernel tier; on a
+        // host without AVX2 it degenerates to a scalar/scalar diff,
+        // which is still a valid (if redundant) comparison.
     }
 
-    /** Program identical random machine state into both engines. */
+    /** All three engines, generic first. */
+    std::array<Machine *, 3> all() { return {&gen_, &fast_, &simd_}; }
+    /** The two specialized engines diffed against the interpreter. */
+    std::array<Machine *, 2> specialized() { return {&fast_, &simd_}; }
+
+    /** Program identical random machine state into every engine. */
     void
     seedState(Rng &rng)
     {
-        fast_.reset();
-        gen_.reset();
-        std::vector<uint8_t> row(fast_.rowBytesInt());
+        for (Machine *m : all())
+            m->reset();
+        std::vector<uint8_t> row(gen_.rowBytesInt());
         for (int r = 0; r < kRows; ++r) {
             for (auto &b : row)
                 b = uint8_t(rng.next64());
-            fast_.hostWriteRow(false, r, row.data());
-            gen_.hostWriteRow(false, r, row.data());
+            writeRowAll(false, r, row.data());
             for (auto &b : row)
                 b = uint8_t(rng.next64());
-            fast_.hostWriteRow(true, r, row.data());
-            gen_.hostWriteRow(true, r, row.data());
+            writeRowAll(true, r, row.data());
         }
         for (int i = 0; i < 8; ++i) {
             RequantEntry e;
@@ -426,41 +446,53 @@ class FastPathDiff : public ::testing::Test
             e.actMin = std::min(a, b);
             e.actMax = std::max(a, b);
             e.lutId = uint8_t(rng.nextBelow(4));
-            fast_.writeRequantEntry(i, e);
-            gen_.writeRequantEntry(i, e);
+            for (Machine *m : all())
+                m->writeRequantEntry(i, e);
         }
         for (int l = 0; l < 4; ++l) {
             std::array<uint8_t, 256> lut;
             for (auto &b : lut)
                 b = uint8_t(rng.next64());
-            fast_.writeLut(l, lut);
-            gen_.writeLut(l, lut);
+            for (Machine *m : all())
+                m->writeLut(l, lut);
         }
     }
 
     void
-    runBoth(const std::vector<Instruction> &prog)
+    writeRowAll(bool weight, int r, const uint8_t *data)
+    {
+        for (Machine *m : all())
+            m->hostWriteRow(weight, r, data);
+    }
+
+    void
+    runAll(const std::vector<Instruction> &prog)
     {
         std::vector<EncodedInstruction> enc;
         enc.reserve(prog.size());
         for (const Instruction &in : prog)
             enc.push_back(encodeInstruction(in));
-        fast_.writeIram(0, enc);
-        gen_.writeIram(0, enc);
-        fast_.start(0);
-        gen_.start(0);
-        RunResult rf = fast_.run(1 << 22);
+        for (Machine *m : all()) {
+            m->writeIram(0, enc);
+            m->start(0);
+        }
         RunResult rg = gen_.run(1 << 22);
-        ASSERT_EQ(int(rf.reason), int(rg.reason));
-        ASSERT_EQ(rf.cycles, rg.cycles);
+        for (Machine *m : specialized()) {
+            RunResult rm = m->run(1 << 22);
+            ASSERT_EQ(int(rm.reason), int(rg.reason))
+                << m->execDescription();
+            ASSERT_EQ(rm.cycles, rg.cycles) << m->execDescription();
+        }
     }
 
-    /** Full architectural-state comparison. */
+    /** Full architectural-state comparison of `f` vs the interpreter. */
     void
-    compareState(uint64_t seed)
+    compareTo(Machine &f, uint64_t seed)
     {
-        SCOPED_TRACE(testing::Message() << "seed " << seed);
-        const PerfCounters &pf = fast_.perf();
+        SCOPED_TRACE(testing::Message()
+                     << f.execDescription() << " vs generic, seed "
+                     << seed);
+        const PerfCounters &pf = f.perf();
         const PerfCounters &pg = gen_.perf();
         EXPECT_EQ(pf.cycles, pg.cycles);
         EXPECT_EQ(pf.instructions, pg.instructions);
@@ -470,23 +502,21 @@ class FastPathDiff : public ::testing::Test
         EXPECT_EQ(pf.ramWrites, pg.ramWrites);
         EXPECT_EQ(pf.dmaFenceStalls, pg.dmaFenceStalls);
 
-        ASSERT_EQ(0, std::memcmp(fast_.accState().data(),
+        ASSERT_EQ(0, std::memcmp(f.accState().data(),
                                  gen_.accState().data(),
-                                 fast_.accState().size() * 4));
+                                 f.accState().size() * 4));
         for (int p = 0; p < 2; ++p)
-            EXPECT_EQ(fast_.predState(p), gen_.predState(p))
-                << "pred " << p;
+            EXPECT_EQ(f.predState(p), gen_.predState(p)) << "pred " << p;
         for (int n = 0; n < 4; ++n)
-            EXPECT_EQ(fast_.nRegState(n), gen_.nRegState(n))
-                << "n" << n;
-        EXPECT_EQ(fast_.outState(false), gen_.outState(false));
-        EXPECT_EQ(fast_.outState(true), gen_.outState(true));
+            EXPECT_EQ(f.nRegState(n), gen_.nRegState(n)) << "n" << n;
+        EXPECT_EQ(f.outState(false), gen_.outState(false));
+        EXPECT_EQ(f.outState(true), gen_.outState(true));
 
-        std::vector<uint8_t> a(fast_.rowBytesInt());
-        std::vector<uint8_t> b(fast_.rowBytesInt());
+        std::vector<uint8_t> a(f.rowBytesInt());
+        std::vector<uint8_t> b(f.rowBytesInt());
         for (int r = 0; r < kRows; ++r) {
             for (bool w : {false, true}) {
-                fast_.hostReadRow(w, r, a.data());
+                f.hostReadRow(w, r, a.data());
                 gen_.hostReadRow(w, r, b.data());
                 ASSERT_EQ(0, std::memcmp(a.data(), b.data(), a.size()))
                     << (w ? "weight" : "data") << " row " << r;
@@ -494,8 +524,17 @@ class FastPathDiff : public ::testing::Test
         }
     }
 
-    Machine fast_;
+    /** compareTo() for both specialized engines. */
+    void
+    compareState(uint64_t seed)
+    {
+        for (Machine *m : specialized())
+            compareTo(*m, seed);
+    }
+
     Machine gen_;
+    Machine fast_;
+    Machine simd_;
 };
 
 TEST_F(FastPathDiff, EngineSelection)
@@ -516,12 +555,53 @@ TEST_F(FastPathDiff, EngineSelection)
     EXPECT_TRUE(dflt.usingFastPath());
 }
 
-/** ≥1000 random programs, bit-identical across both engines. */
+/** SIMD kernel-tier resolution (ncore/simd.h) and its reporting. */
+TEST_F(FastPathDiff, SimdTierSelection)
+{
+    // The interpreter has no SIMD kernels: tier pins to Scalar.
+    EXPECT_EQ(int(gen_.simdTier()), int(SimdTier::Scalar));
+    EXPECT_EQ(gen_.execDescription(), "generic");
+    // An explicit Options request resolves as given (clamped).
+    EXPECT_EQ(int(fast_.simdTier()), int(SimdTier::Scalar));
+    EXPECT_EQ(fast_.execDescription(), "specialized/scalar");
+    // Auto resolved to a concrete tier the host supports.
+    EXPECT_NE(int(simd_.simdTier()), int(SimdTier::Auto));
+    EXPECT_LE(int(simd_.simdTier()), int(bestSimdTier()));
+    EXPECT_EQ(simd_.execDescription(),
+              std::string("specialized/") +
+                  simdTierName(simd_.simdTier()));
+
+    const char *saved = getenv("NCORE_SIMD");
+    std::string savedCopy = saved ? saved : "";
+
+    // Auto honors NCORE_SIMD (the one place the env var is read)...
+    setenv("NCORE_SIMD", "scalar", 1);
+    Machine env(chaNcoreConfig(), chaSocConfig());
+    EXPECT_EQ(int(env.simdTier()), int(SimdTier::Scalar));
+
+    // ...but an explicit Options request beats it, and a request for
+    // more than the host supports clamps to the probed best tier.
+    Machine expl(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                 {ExecEngine::Specialized, nullptr, nullptr,
+                  SimdTier::Avx512});
+    EXPECT_EQ(int(expl.simdTier()), int(bestSimdTier()));
+
+    if (saved)
+        setenv("NCORE_SIMD", savedCopy.c_str(), 1);
+    else
+        unsetenv("NCORE_SIMD");
+}
+
+/** ≥1000 random programs, bit-identical across the engine matrix
+ *  (override the count with NCORE_DIFF_PROGRAMS; the sanitizer CI
+ *  job runs a reduced count). */
 TEST_F(FastPathDiff, RandomPrograms)
 {
-    constexpr int kPrograms = 1000;
+    int programs = 1000;
+    if (const char *s = getenv("NCORE_DIFF_PROGRAMS"))
+        programs = std::max(1, atoi(s));
     Rng master(0x5eedc0de);
-    for (int i = 0; i < kPrograms; ++i) {
+    for (int i = 0; i < programs; ++i) {
         uint64_t seed = master.next64();
         Rng rng(seed);
         seedState(rng);
@@ -529,7 +609,7 @@ TEST_F(FastPathDiff, RandomPrograms)
                         fast_.rowBytesInt());
         std::vector<Instruction> prog = pgen.generate(28);
         ASSERT_LE(prog.size(), size_t(Machine::kBankInstrs));
-        runBoth(prog);
+        runAll(prog);
         compareState(seed);
         if (HasFatalFailure() || HasNonfatalFailure()) {
             for (const Instruction &in : prog)
@@ -650,7 +730,7 @@ TEST_F(FastPathDiff, LoopProgram)
     Instruction halt;
     halt.ctrl.op = CtrlOp::Halt;
     prog.push_back(halt);
-    runBoth(prog);
+    runAll(prog);
     compareState(7);
 }
 
@@ -690,8 +770,234 @@ TEST_F(FastPathDiff, RepWithPostIncrement)
     Instruction halt;
     halt.ctrl.op = CtrlOp::Halt;
     prog.push_back(halt);
-    runBoth(prog);
+    runAll(prog);
     compareState(11);
+}
+
+/** Helpers shared by the directed SIMD corner-case programs. */
+Instruction
+setAddrRow(int reg, int row)
+{
+    Instruction in;
+    in.ctrl.op = CtrlOp::SetAddrRow;
+    in.ctrl.reg = uint8_t(reg);
+    in.ctrl.imm = uint32_t(row);
+    return in;
+}
+
+Instruction
+setAddrByte(int reg, int byte)
+{
+    Instruction in;
+    in.ctrl.op = CtrlOp::SetAddrByte;
+    in.ctrl.reg = uint8_t(reg);
+    in.ctrl.imm = uint32_t(byte);
+    return in;
+}
+
+/** NPU op reading dataRead(reg0) and weightRead(reg1). */
+Instruction
+npuRR(NpuOp op, LaneType t, Pred p = Pred::None, bool zeroOff = false)
+{
+    Instruction in;
+    in.dataRead.enable = true;
+    in.dataRead.reg = 0;
+    in.weightRead.enable = true;
+    in.weightRead.reg = 1;
+    in.npu.op = op;
+    in.npu.type = t;
+    in.npu.a = RowSrc::DataRead;
+    in.npu.b = RowSrc::WeightRead;
+    in.npu.pred = p;
+    in.npu.zeroOff = zeroOff;
+    return in;
+}
+
+/**
+ * Every lane type and op class under every predicate mode: the SIMD
+ * kernels turn the per-lane predicate bytes into vector masks
+ * (passV), so each (type, pred, op) combination must blend exactly
+ * like the scalar per-lane `if`.
+ */
+TEST_F(FastPathDiff, PredicatedLanes)
+{
+    Rng rng(21);
+    seedState(rng);
+    std::vector<Instruction> prog;
+    prog.push_back(setAddrRow(0, 12));
+    prog.push_back(setAddrRow(1, 40));
+    Instruction z;
+    z.npu.op = NpuOp::AccZero;
+    prog.push_back(z);
+    // Derive both predicate registers from the random RAM contents.
+    prog.push_back(npuRR(NpuOp::CmpGtP0, LaneType::U8));
+    prog.push_back(npuRR(NpuOp::CmpGtP1, LaneType::I8));
+    static constexpr LaneType kTypes[] = {LaneType::U8, LaneType::I8,
+                                          LaneType::I16, LaneType::BF16};
+    static constexpr Pred kPreds[] = {Pred::P0, Pred::P1, Pred::NotP0};
+    static constexpr NpuOp kOps[] = {NpuOp::Mac, NpuOp::MacFwd,
+                                     NpuOp::Add, NpuOp::Min};
+    for (LaneType t : kTypes)
+        for (Pred p : kPreds)
+            for (NpuOp op : kOps)
+                prog.push_back(npuRR(op, t, p));
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runAll(prog);
+    compareState(21);
+}
+
+/**
+ * Nonzero zero-point offsets: the u8 widen kernels subtract the
+ * per-operand offsets before the MAC, and the SIMD selectors must
+ * canonicalize "zeroOff set but type != U8" exactly like the scalar
+ * ones (the offset only applies to U8 lanes).
+ */
+TEST_F(FastPathDiff, NonzeroZeroOffsets)
+{
+    Rng rng(33);
+    seedState(rng);
+    std::vector<Instruction> prog;
+    prog.push_back(setAddrRow(0, 15));
+    prog.push_back(setAddrRow(1, 55));
+    Instruction z;
+    z.npu.op = NpuOp::AccZero;
+    prog.push_back(z);
+    prog.push_back(npuRR(NpuOp::CmpGtP0, LaneType::U8));
+    for (uint32_t zo : {0x0000u, 0x1580u, 0x80ffu, 0xffffu}) {
+        Instruction set;
+        set.ctrl.op = CtrlOp::SetZeroOff;
+        set.ctrl.imm = zo;
+        prog.push_back(set);
+        prog.push_back(npuRR(NpuOp::Mac, LaneType::U8, Pred::None, true));
+        prog.push_back(npuRR(NpuOp::Mac, LaneType::U8, Pred::P0, true));
+        prog.push_back(npuRR(NpuOp::MacFwd, LaneType::U8, Pred::None,
+                             true));
+        prog.push_back(npuRR(NpuOp::Add, LaneType::U8, Pred::None, true));
+        prog.push_back(npuRR(NpuOp::Sub, LaneType::U8, Pred::NotP0,
+                             true));
+        prog.push_back(npuRR(NpuOp::CmpGtP1, LaneType::U8, Pred::None,
+                             true));
+        // zeroOff on non-U8 types is architecturally ignored.
+        prog.push_back(npuRR(NpuOp::Mac, LaneType::I8, Pred::None, true));
+        prog.push_back(npuRR(NpuOp::Mac, LaneType::I16, Pred::None,
+                             true));
+    }
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runAll(prog);
+    compareState(33);
+}
+
+/**
+ * bf16 NaN / infinity / denormal inputs: the vector kernels must
+ * reproduce the scalar engines' NaN canonicalization (common/bf16.h:
+ * quieten-to-0x7fc00000 on lane load, payload-preserving narrow on
+ * store) and the mul-then-add double rounding when a product lands
+ * in the binary32 subnormal range — the reason the SIMD TUs compile
+ * with -ffp-contract=off.
+ */
+TEST_F(FastPathDiff, Bf16SpecialValues)
+{
+    Rng rng(44);
+    seedState(rng);
+    // Saturate two source rows with bytes that assemble into NaNs
+    // (0x7f81, 0xffc1...), infinities (0x7f80/0xff80), denormals
+    // (0x0001, 0x8001, 0x0080) and tiny normals regardless of which
+    // planar half supplies the exponent byte.
+    static constexpr uint8_t kBytes[] = {0x00, 0x01, 0x80, 0x81,
+                                         0x7f, 0xff, 0xc0, 0xc1,
+                                         0x3f, 0x40, 0x08, 0xf0};
+    std::vector<uint8_t> row(gen_.rowBytesInt());
+    for (size_t i = 0; i < row.size(); ++i)
+        row[i] = kBytes[(i * 5 + i / 64) % std::size(kBytes)];
+    writeRowAll(false, 12, row.data());
+    for (size_t i = 0; i < row.size(); ++i)
+        row[i] = kBytes[(i * 7 + i / 128 + 3) % std::size(kBytes)];
+    writeRowAll(true, 40, row.data());
+
+    std::vector<Instruction> prog;
+    prog.push_back(setAddrRow(0, 12));
+    prog.push_back(setAddrRow(1, 40));
+    Instruction z;
+    z.npu.op = NpuOp::AccZero;
+    prog.push_back(z);
+    prog.push_back(npuRR(NpuOp::CmpGtP0, LaneType::I8));
+    static constexpr NpuOp kOps[] = {NpuOp::Mac, NpuOp::MacFwd,
+                                     NpuOp::Add, NpuOp::Sub,
+                                     NpuOp::Min, NpuOp::Max};
+    for (NpuOp op : kOps) {
+        prog.push_back(npuRR(op, LaneType::BF16));
+        prog.push_back(npuRR(op, LaneType::BF16, Pred::P0));
+    }
+    // Narrow the NaN-laden accumulators back to bf16 rows through
+    // each activation the SIMD OUT kernel vectorizes.
+    for (ActFn act : {ActFn::None, ActFn::Relu, ActFn::Relu6}) {
+        Instruction out;
+        out.out.op = OutOp::StoreBf16;
+        out.out.act = act;
+        prog.push_back(out);
+        Instruction wr;
+        wr.write.enable = true;
+        wr.write.addrReg = 2;
+        wr.write.src = RowSrc::OutLo;
+        wr.write.weightRam = false;
+        prog.push_back(setAddrRow(2, 90 + int(act)));
+        prog.push_back(wr);
+    }
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runAll(prog);
+    compareState(44);
+}
+
+/**
+ * Gather-class NDU reads with byte offsets just under rowBytes: the
+ * window wraps around the 4096-byte row, which is the boundary the
+ * vectorized wide-load kernels must not run past (the scalar NDU
+ * kernels index modulo rowBytes per byte).
+ */
+TEST_F(FastPathDiff, RowWrappingNduReads)
+{
+    Rng rng(55);
+    seedState(rng);
+    std::vector<Instruction> prog;
+    prog.push_back(setAddrRow(0, 25));
+    static constexpr NduOp kOps[] = {NduOp::WindowGather,
+                                     NduOp::RepWindow,
+                                     NduOp::GroupBcast};
+    static constexpr uint8_t kStrides[] = {1, 3, 5}; // S1, S64, S256.
+    int dst = 0;
+    for (NduOp op : kOps) {
+        for (uint8_t stride : kStrides) {
+            for (int back : {1, 17, 63}) {
+                prog.push_back(setAddrByte(3, 4096 - back));
+                Instruction in;
+                in.dataRead.enable = true;
+                in.dataRead.reg = 0;
+                in.ndu0.op = op;
+                in.ndu0.srcA = RowSrc::DataRead;
+                in.ndu0.dst = uint8_t(dst);
+                in.ndu0.addrReg = 3;
+                in.ndu0.param = stride;
+                // Fold the gathered row into the accumulators so a
+                // wrong gather shows up in acc state too.
+                in.npu.op = NpuOp::Add;
+                in.npu.type = LaneType::U8;
+                in.npu.a = RowSrc(int(RowSrc::N0) + dst);
+                prog.push_back(in);
+                dst = (dst + 1) % 4;
+            }
+        }
+    }
+    Instruction halt;
+    halt.ctrl.op = CtrlOp::Halt;
+    prog.push_back(halt);
+    runAll(prog);
+    compareState(55);
 }
 
 } // namespace

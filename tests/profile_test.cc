@@ -443,6 +443,20 @@ TEST(ProfileReportTest, JsonGolden)
     EXPECT_EQ(rep.json(), std::string(kGoldenJson));
 }
 
+TEST(ProfileReportTest, EngineFieldRenderedWhenSet)
+{
+    // profileWorkloadReport / ServeEngine::profileSample stamp the
+    // Machine's execDescription() so rendered reports say which
+    // engine and SIMD kernel tier produced them; an empty engine
+    // (hand-built reports, the goldens above) omits the line.
+    ProfileReport rep = goldenReport();
+    rep.engine = "specialized/avx2";
+    EXPECT_NE(rep.text().find("exec engine: specialized/avx2\n"),
+              std::string::npos);
+    EXPECT_NE(rep.json().find("\"engine\": \"specialized/avx2\""),
+              std::string::npos);
+}
+
 // ---------------- Serve latency histogram ----------------
 
 TEST(ProfileHistogramTest, CumulativeBucketsSumAndCount)

@@ -19,6 +19,7 @@
 #include "common/stats.h"
 #include "gcl/compiler.h"
 #include "mlperf/loadgen.h"
+#include "ncore/simd.h"
 #include "runtime/delegate.h"
 #include "runtime/driver.h"
 #include "serve/engine.h"
@@ -256,6 +257,27 @@ TEST(TelemetryMachineTest, OptionsInstallSinkAndEngine)
     EXPECT_EQ(m.traceSink(), &sink);
     Machine plain(chaNcoreConfig(), chaSocConfig());
     EXPECT_EQ(plain.traceSink(), nullptr);
+}
+
+TEST(TelemetryMachineTest, PublishStatsReportsExecEngineInfo)
+{
+    // Exported snapshots are self-describing: an info gauge names the
+    // exec engine and the SIMD kernel tier the Machine ran with.
+    Machine gen(chaNcoreConfig(), chaSocConfig(), nullptr, false,
+                {ExecEngine::Generic, nullptr});
+    Stats s;
+    gen.publishStats(s);
+    EXPECT_EQ(s.value(stats::execEngineInfo("generic", "scalar")), 1.0);
+
+    Machine fast(chaNcoreConfig(), chaSocConfig());
+    Stats sf;
+    fast.publishStats(sf);
+    EXPECT_EQ(sf.value(stats::execEngineInfo(
+                  "specialized", simdTierName(fast.simdTier()))),
+              1.0);
+    EXPECT_EQ(fast.execDescription(),
+              std::string("specialized/") +
+                  simdTierName(fast.simdTier()));
 }
 
 TEST(TelemetryMachineTest, SinkSeesIramBankSwapsOfStreamingModel)
